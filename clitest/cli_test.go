@@ -1,0 +1,211 @@
+// Package clitest smoke-tests the command-line tools end to end: the
+// mssim -> seqgen -> mpcgs pipeline the paper's §6.1 describes, exercised
+// through the real binaries.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mpcgs-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		panic("building CLIs: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, name string, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, got success\n%s", name, args, out)
+	}
+	return string(out)
+}
+
+func TestMssimOutputsTrees(t *testing.T) {
+	out := run(t, "mssim", "", "-seed", "5", "6", "3")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 trees, got %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.HasSuffix(l, ";") || !strings.Contains(l, ":") {
+			t.Errorf("line does not look like a Newick tree: %q", l)
+		}
+	}
+}
+
+func TestMssimRejectsBadArgs(t *testing.T) {
+	runExpectError(t, "mssim", "1", "1")
+	runExpectError(t, "mssim", "-theta", "-1", "5", "1")
+}
+
+func TestSeqgenFromMssim(t *testing.T) {
+	trees := run(t, "mssim", "", "-seed", "7", "8", "1")
+	phy := run(t, "seqgen", trees, "-l", "120", "-seed", "9")
+	if !strings.HasPrefix(phy, "8 120") {
+		t.Fatalf("expected PHYLIP header '8 120', got:\n%s", phy[:min(len(phy), 80)])
+	}
+	if strings.Count(phy, "\n") < 8 {
+		t.Fatalf("expected 8 sequence lines:\n%s", phy)
+	}
+}
+
+func TestSeqgenModels(t *testing.T) {
+	trees := run(t, "mssim", "", "-seed", "11", "4", "1")
+	for _, model := range []string{"F84", "F81", "JC69"} {
+		out := run(t, "seqgen", trees, "-l", "40", "-m", model, "-seed", "12")
+		if !strings.HasPrefix(out, "4 40") {
+			t.Errorf("model %s: bad output header", model)
+		}
+	}
+	runExpectError(t, "seqgen", "-m", "BOGUS")
+}
+
+func TestFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	trees := run(t, "mssim", "", "-seed", "13", "-theta", "1.0", "10", "1")
+	phy := run(t, "seqgen", trees, "-l", "200", "-seed", "14")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.phy")
+	if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "mpcgs", "",
+		"-burnin", "200", "-samples", "1500", "-em-iterations", "2", "-seed", "15",
+		path, "0.5")
+	if !strings.Contains(out, "theta = ") {
+		t.Fatalf("no estimate in output:\n%s", out)
+	}
+	if !strings.Contains(out, "diagnostics:") {
+		t.Errorf("no diagnostics in output:\n%s", out)
+	}
+}
+
+func TestMpcgsGrowthFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	trees := run(t, "mssim", "", "-seed", "17", "8", "1")
+	phy := run(t, "seqgen", trees, "-l", "150", "-seed", "18")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.phy")
+	if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "mpcgs", "", "-q", "-growth",
+		"-burnin", "100", "-samples", "1000", "-em-iterations", "1", "-seed", "19",
+		path, "1.0")
+	if !strings.Contains(out, "growth:") {
+		t.Fatalf("no growth estimate in output:\n%s", out)
+	}
+}
+
+func TestMpcgsSamplerFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	trees := run(t, "mssim", "", "-seed", "21", "6", "1")
+	phy := run(t, "seqgen", trees, "-l", "100", "-seed", "22")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.phy")
+	if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sampler := range []string{"gmh", "mh", "multichain"} {
+		out := run(t, "mpcgs", "", "-q", "-sampler", sampler,
+			"-burnin", "50", "-samples", "400", "-em-iterations", "1", "-seed", "23",
+			path, "1.0")
+		if !strings.Contains(out, "theta = ") {
+			t.Errorf("sampler %s: no estimate:\n%s", sampler, out)
+		}
+	}
+}
+
+func TestMpcgsRejectsBadInput(t *testing.T) {
+	runExpectError(t, "mpcgs", "/nonexistent.phy", "1.0")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.phy")
+	if err := os.WriteFile(path, []byte("not phylip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runExpectError(t, "mpcgs", path, "1.0")
+	runExpectError(t, "mpcgs", path, "-2")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestMpcgsBayesianFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	trees := run(t, "mssim", "", "-seed", "25", "8", "1")
+	phy := run(t, "seqgen", trees, "-l", "120", "-seed", "26")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.phy")
+	if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "mpcgs", "", "-q", "-bayesian",
+		"-burnin", "200", "-samples", "1500", "-seed", "27",
+		path, "1.0")
+	if !strings.Contains(out, "posterior theta") || !strings.Contains(out, "95% CI") {
+		t.Fatalf("no posterior summary in output:\n%s", out)
+	}
+}
+
+func TestPaperbenchBurninExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	out := run(t, "paperbench", "", "-experiment", "burnin", "-scale", "quick")
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "effective sample size") {
+		t.Fatalf("burnin experiment output unexpected:\n%s", out)
+	}
+}
+
+// TestExamplesBuild keeps every example main compiling.
+func TestExamplesBuild(t *testing.T) {
+	cmd := exec.Command("go", "build", "-o", t.TempDir(), "./examples/...")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("examples do not build: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,48 @@
+// Command mssim simulates coalescent genealogies, mirroring the
+// `ms <nsam> <nreps> -T` invocation the paper uses to generate true trees
+// for its accuracy experiments (§6.1). Trees print one Newick statement
+// per line on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"mpcgs/internal/mssim"
+)
+
+func main() {
+	var (
+		theta = flag.Float64("theta", 1.0, "coalescent parameter scaling waiting times")
+		seed  = flag.Uint64("seed", 1, "PRNG seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mssim [flags] <nsam> <nreps>\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	nsam, err := strconv.Atoi(flag.Arg(0))
+	if err != nil {
+		fatalf("bad sample count %q", flag.Arg(0))
+	}
+	reps, err := strconv.Atoi(flag.Arg(1))
+	if err != nil {
+		fatalf("bad replicate count %q", flag.Arg(1))
+	}
+	trees, err := mssim.Simulate(mssim.Config{NSam: nsam, Reps: reps, Theta: *theta, Seed: *seed})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(mssim.NewickOutput(trees))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mssim: "+format+"\n", args...)
+	os.Exit(1)
+}

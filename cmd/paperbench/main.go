@@ -1,0 +1,238 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section (§6) as text tables and ASCII plots.
+//
+//	paperbench -experiment accuracy    # Table 1 / Fig. 13
+//	paperbench -experiment samples     # Table 2 / Fig. 14
+//	paperbench -experiment sequences   # Table 3 / Fig. 15
+//	paperbench -experiment seqlen      # Table 4 / Fig. 16
+//	paperbench -experiment curve       # Fig. 5
+//	paperbench -experiment burnin      # Fig. 2
+//	paperbench -experiment multichain  # Fig. 6
+//	paperbench -experiment all
+//
+// The default -scale quick shrinks workloads to finish in minutes;
+// -scale paper uses the paper's sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcgs/internal/experiments"
+	"mpcgs/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (accuracy, samples, sequences, seqlen, curve, burnin, multichain, all)")
+		scale      = flag.String("scale", "quick", "workload sizing: quick or paper")
+		workers    = flag.Int("workers", 0, "device parallelism (0 = all cores)")
+		seed       = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+	)
+	flag.Parse()
+	c := experiments.Common{
+		Scale:   experiments.Scale(*scale),
+		Workers: *workers,
+		Seed:    *seed,
+	}
+	runners := map[string]func(experiments.Common) error{
+		"accuracy":     runAccuracy,
+		"samples":      runSamples,
+		"sequences":    runSequences,
+		"seqlen":       runSeqLen,
+		"curve":        runCurve,
+		"burnin":       runBurnin,
+		"multichain":   runMultichain,
+		"proposalsize": runProposalSize,
+		"nested":       runNested,
+		"growth":       runGrowth,
+	}
+	order := []string{
+		"accuracy", "samples", "sequences", "seqlen", "curve", "burnin",
+		"multichain", "proposalsize", "nested", "growth",
+	}
+	if *experiment == "all" {
+		for _, name := range order {
+			if err := runners[name](c); err != nil {
+				fatalf("%s: %v", name, err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		fatalf("unknown experiment %q", *experiment)
+	}
+	if err := run(c); err != nil {
+		fatalf("%s: %v", *experiment, err)
+	}
+}
+
+func runAccuracy(c experiments.Common) error {
+	fmt.Println("=== Table 1 / Figure 13: theta-estimation accuracy, LAMARC (serial MH) vs mpcgs (GMH) ===")
+	res, err := experiments.Accuracy(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10s %-12s %-10s %-12s\n", "True", "LAMARC", "LAMARC SD", "mpcgs", "mpcgs SD")
+	pts := map[string][]stats.Point{}
+	for _, r := range res.Rows {
+		fmt.Printf("%-8.2f %-10.3f %-12.3f %-10.3f %-12.3f\n",
+			r.TrueTheta, r.LAMARC, r.LAMARCStd, r.MPCGS, r.MPCGSStd)
+		pts["LAMARC"] = append(pts["LAMARC"], stats.Point{X: r.TrueTheta, Y: r.LAMARC})
+		pts["mpcgs"] = append(pts["mpcgs"], stats.Point{X: r.TrueTheta, Y: r.MPCGS})
+		pts["y=x"] = append(pts["y=x"], stats.Point{X: r.TrueTheta, Y: r.TrueTheta})
+	}
+	fmt.Printf("Pearson r (LAMARC vs mpcgs estimates) = %.3f   [paper: 0.905]\n\n", res.Pearson)
+	fmt.Println(stats.AsciiPlot("Figure 13: estimated theta vs true theta",
+		"true theta", "estimate", pts, 56, 16))
+	return nil
+}
+
+func printSpeedup(title, param string, pts []experiments.SpeedupPoint, paperVals []float64) {
+	fmt.Printf("=== %s ===\n", title)
+	fmt.Printf("%-10s %-12s %-14s %-10s %-12s\n", param, "serial (s)", "parallel (s)", "speedup", "paper")
+	plot := map[string][]stats.Point{}
+	for i, p := range pts {
+		paper := "-"
+		if i < len(paperVals) {
+			paper = fmt.Sprintf("%.2f", paperVals[i])
+		}
+		fmt.Printf("%-10d %-12.3f %-14.3f %-10.2f %-12s\n",
+			p.Param, p.SerialSec, p.ParallelSec, p.Speedup, paper)
+		plot["measured"] = append(plot["measured"], stats.Point{X: float64(p.Param), Y: p.Speedup})
+		if i < len(paperVals) {
+			plot["paper"] = append(plot["paper"], stats.Point{X: float64(p.Param), Y: paperVals[i]})
+		}
+	}
+	fmt.Println()
+	fmt.Println(stats.AsciiPlot(title, param, "speedup", plot, 56, 14))
+}
+
+func runSamples(c experiments.Common) error {
+	pts, err := experiments.SpeedupVsSamples(c)
+	if err != nil {
+		return err
+	}
+	printSpeedup("Table 2 / Figure 14: speedup vs number of genealogy samples",
+		"samples", pts, []float64{3.69, 3.8, 3.95, 4.19, 4.27, 4.32})
+	return nil
+}
+
+func runSequences(c experiments.Common) error {
+	pts, err := experiments.SpeedupVsSequences(c)
+	if err != nil {
+		return err
+	}
+	printSpeedup("Table 3 / Figure 15: speedup vs number of sequences",
+		"sequences", pts, []float64{3.69, 3.41, 2.9, 2.78, 2.57, 2.43, 2.43, 2.83})
+	return nil
+}
+
+func runSeqLen(c experiments.Common) error {
+	pts, err := experiments.SpeedupVsSeqLen(c)
+	if err != nil {
+		return err
+	}
+	printSpeedup("Table 4 / Figure 16: speedup vs sequence length",
+		"bp", pts, []float64{3.69, 5.67, 7.86, 10.22, 12.63, 23.28})
+	return nil
+}
+
+func runCurve(c experiments.Common) error {
+	fmt.Println("=== Figure 5: relative likelihood curve (true theta 1.0, driving theta0 0.01) ===")
+	res, err := experiments.LikelihoodCurve(c)
+	if err != nil {
+		return err
+	}
+	pts := map[string][]stats.Point{}
+	for i, th := range res.Thetas {
+		pts["log L(theta)"] = append(pts["log L(theta)"], stats.Point{X: th, Y: res.LogL[i]})
+	}
+	fmt.Println(stats.AsciiPlot("Figure 5: log relative likelihood over theta",
+		"theta", "log L", pts, 64, 18))
+	fmt.Printf("curve maximum near theta = %.3g (true 1.0, driving 0.01)\n\n", res.ArgMax)
+	return nil
+}
+
+func runBurnin(c experiments.Common) error {
+	fmt.Println("=== Figure 2: chain burn-in trace (data log-likelihood per draw) ===")
+	res, err := experiments.BurninTrace(c)
+	if err != nil {
+		return err
+	}
+	pts := map[string][]stats.Point{}
+	for i, v := range res.Trace {
+		pts["log P(D|G)"] = append(pts["log P(D|G)"], stats.Point{X: float64(i), Y: v})
+	}
+	fmt.Println(stats.AsciiPlot("Figure 2: burn-in trace", "draw", "log P(D|G)", pts, 64, 18))
+	ess := stats.EffectiveSampleSize(res.Trace[len(res.Trace)/2:])
+	fmt.Printf("post-burn-in effective sample size over %d draws: %.0f\n\n", len(res.Trace)/2, ess)
+	return nil
+}
+
+func runMultichain(c experiments.Common) error {
+	fmt.Println("=== Figure 6: multi-chain burn-in inefficiency vs GMH ===")
+	pts, err := experiments.MultichainEfficiency(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-16s %-12s %-22s\n", "P", "multichain (s)", "GMH (s)", "Amdahl model (B+N/P)/(B+N)")
+	plot := map[string][]stats.Point{}
+	for _, p := range pts {
+		fmt.Printf("%-6d %-16.3f %-12.3f %-22.3f\n", p.P, p.MultichainSec, p.GMHSec, p.ModelWork)
+		plot["multichain"] = append(plot["multichain"], stats.Point{X: float64(p.P), Y: p.MultichainSec})
+		plot["gmh"] = append(plot["gmh"], stats.Point{X: float64(p.P), Y: p.GMHSec})
+	}
+	fmt.Println()
+	fmt.Println(stats.AsciiPlot("Figure 6: wall time vs parallelism", "P", "seconds", plot, 56, 14))
+	return nil
+}
+
+func runProposalSize(c experiments.Common) error {
+	fmt.Println("=== Ablation: GMH proposal-set size N (paper §7 tuning question) ===")
+	pts, err := experiments.ProposalSetSize(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-10s %-12s %-10s %-12s\n", "N", "wall (s)", "move rate", "ESS", "ESS/s")
+	for _, p := range pts {
+		fmt.Printf("%-6d %-10.3f %-12.3f %-10.0f %-12.0f\n", p.N, p.Sec, p.MoveRate, p.ESS, p.ESSPerSec)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runNested(c experiments.Common) error {
+	fmt.Println("=== Ablation: dynamic parallelism (per-proposal site kernels, paper §4.4) ===")
+	pts, err := experiments.NestedParallelism(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-12s %-12s %-10s\n", "N", "flat (s)", "nested (s)", "nested/flat")
+	for _, p := range pts {
+		fmt.Printf("%-6d %-12.3f %-12.3f %-10.2f\n", p.N, p.FlatSec, p.NestedSec, p.NestedSec/p.FlatSec)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runGrowth(c experiments.Common) error {
+	fmt.Println("=== Extension (paper §7): two-parameter estimation (theta, growth) ===")
+	pts, err := experiments.GrowthEstimation(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %-12s\n", "true g", "theta-hat", "g-hat")
+	for _, p := range pts {
+		fmt.Printf("%-12.1f %-12.3f %-12.3f\n", p.TrueGrowth, p.Theta, p.Growth)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Likelihood-curve reproduces the shape of the paper's Figure 5: sampling
+// genealogies driven at θ0 = 0.01 from data whose true θ is 1.0, then
+// plotting the relative likelihood L(θ)/L(θ0). The curve should peak near
+// the true value despite the far-off driving value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpcgs"
+	"mpcgs/internal/stats"
+)
+
+func main() {
+	const (
+		trueTheta = 1.0
+		theta0    = 0.01
+	)
+	aln, err := mpcgs.SimulateAlignment(12, 200, trueTheta, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A single EM iteration: one sampling pass at the driving value.
+	res, err := mpcgs.Run(mpcgs.Config{
+		Alignment:    aln,
+		InitialTheta: theta0,
+		Burnin:       500,
+		Samples:      8000,
+		EMIterations: 1,
+		Seed:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var grid []float64
+	for x := 0.005; x <= 10.0; x *= 1.2 {
+		grid = append(grid, x)
+	}
+	vals := res.Curve(grid)
+	pts := map[string][]stats.Point{}
+	best := 0
+	for i, x := range grid {
+		pts["log L"] = append(pts["log L"], stats.Point{X: x, Y: vals[i]})
+		if vals[i] > vals[best] {
+			best = i
+		}
+	}
+	fmt.Println(stats.AsciiPlot(
+		fmt.Sprintf("Relative log-likelihood (true theta %.2f, driving %.2f)", trueTheta, theta0),
+		"theta", "log L(theta)", pts, 64, 18))
+	fmt.Printf("curve peaks near theta = %.3g; single-pass EM estimate %.3g\n", grid[best], res.Theta)
+}

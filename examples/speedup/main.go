@@ -1,0 +1,62 @@
+// Speedup measures the GMH sampler against the serial LAMARC-style
+// baseline as the worker count grows, on the paper's reference workload
+// (12 sequences x 200 bp), and again at a longer sequence length where
+// the paper found the parallelism most effective (§6.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"mpcgs/internal/core"
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/seqgen"
+	"mpcgs/internal/subst"
+)
+
+func measure(nSeq, seqLen, burnin, samples int) {
+	aln, _, err := seqgen.SimulateData(nSeq, seqLen, 1.0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(s core.Sampler) time.Duration {
+		init, err := core.InitialTree(aln, 1.0, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := s.Run(init, core.ChainConfig{Theta: 1.0, Burnin: burnin, Samples: samples, Seed: 8}); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	evalSerial, err := felsen.New(model, aln, device.Serial())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := run(core.NewMH(evalSerial))
+	fmt.Printf("workload %d x %d bp: serial MH baseline %v\n", nSeq, seqLen, base.Round(time.Millisecond))
+	for p := 2; p <= runtime.GOMAXPROCS(0); p *= 2 {
+		dev := device.New(p)
+		eval, err := felsen.New(model, aln, dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := run(core.NewGMH(eval, dev, p))
+		fmt.Printf("  gmh workers=%-3d %-12v speedup %.2fx\n",
+			p, t.Round(time.Millisecond), base.Seconds()/t.Seconds())
+	}
+	fmt.Println()
+}
+
+func main() {
+	measure(12, 200, 200, 2000)
+	measure(12, 1000, 100, 1000)
+}

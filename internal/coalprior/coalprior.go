@@ -1,0 +1,60 @@
+// Package coalprior evaluates the Kingman coalescent prior of a genealogy
+// (paper §2.4): the probability density of the coalescent waiting times
+// given the population parameter theta,
+//
+//	P(G|θ) = Π_i (2/θ) exp(-k_i(k_i-1) t_i / θ)            (Eq. 18)
+//
+// over the n-1 coalescent intervals, where k_i lineages persist for
+// duration t_i. The ratio of two such densities at different theta values
+// depends on the intervals only through the sufficient statistic
+// S = Σ k(k-1)t (see gtree.SumKKT), which is what the relative likelihood
+// estimator stores per sample.
+package coalprior
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgs/internal/gtree"
+)
+
+// LogWaitingTime returns the log-density of paper Eq. 17: the probability
+// that k lineages first coalesce after waiting time t,
+// p_k(t) = (2/θ) exp(-k(k-1)t/θ). It panics for k < 2, t < 0 or θ <= 0.
+func LogWaitingTime(k int, t, theta float64) float64 {
+	if k < 2 {
+		panic(fmt.Sprintf("coalprior: waiting time for %d lineages", k))
+	}
+	if t < 0 {
+		panic(fmt.Sprintf("coalprior: negative waiting time %v", t))
+	}
+	if theta <= 0 {
+		panic(fmt.Sprintf("coalprior: non-positive theta %v", theta))
+	}
+	return math.Log(2/theta) - float64(k*(k-1))*t/theta
+}
+
+// LogPrior returns log P(G|θ) for a genealogy (Eq. 18).
+func LogPrior(t *gtree.Tree, theta float64) float64 {
+	return LogPriorStat(t.NTips(), t.SumKKT(), theta)
+}
+
+// LogPriorStat returns log P(G|θ) from the reduced representation: the tip
+// count and the sufficient statistic S = Σ k(k-1)t. This is the form the
+// posterior likelihood kernel evaluates per stored sample (§5.2.3).
+func LogPriorStat(nTips int, sumKKT, theta float64) float64 {
+	if theta <= 0 {
+		panic(fmt.Sprintf("coalprior: non-positive theta %v", theta))
+	}
+	if nTips < 2 {
+		panic(fmt.Sprintf("coalprior: %d tips", nTips))
+	}
+	return float64(nTips-1)*math.Log(2/theta) - sumKKT/theta
+}
+
+// LogPriorRatio returns log[P(G|θ)/P(G|θ0)] from the reduced
+// representation, the per-sample term of the relative likelihood L_G(θ)
+// (paper Eq. 25).
+func LogPriorRatio(nTips int, sumKKT, theta, theta0 float64) float64 {
+	return LogPriorStat(nTips, sumKKT, theta) - LogPriorStat(nTips, sumKKT, theta0)
+}

@@ -1,0 +1,146 @@
+package coalprior
+
+import (
+	"math"
+	"testing"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+)
+
+func TestLogWaitingTimeHandComputed(t *testing.T) {
+	// k=3, t=0.5, theta=2: log(1) - 6*0.5/2 = -1.5.
+	if got := LogWaitingTime(3, 0.5, 2); math.Abs(got-(-1.5)) > 1e-12 {
+		t.Errorf("LogWaitingTime = %v, want -1.5", got)
+	}
+	// Zero waiting time: density is just 2/theta.
+	if got := LogWaitingTime(2, 0, 4); math.Abs(got-math.Log(0.5)) > 1e-12 {
+		t.Errorf("LogWaitingTime(2,0,4) = %v, want log(1/2)", got)
+	}
+}
+
+func TestLogWaitingTimeNormalized(t *testing.T) {
+	// The waiting-time density k(k-1)/θ · exp(-k(k-1)t/θ) integrates to 1;
+	// Eq. 17's (2/θ) form includes the uniform 1/C(k,2) pair choice, so
+	// integrating Eq. 17 over t gives 1/C(k,2).
+	theta := 1.7
+	for k := 2; k <= 6; k++ {
+		// Numerical integration of exp(LogWaitingTime).
+		integral := 0.0
+		dt := 1e-4 * theta
+		for x := 0.0; x < 10*theta; x += dt {
+			integral += math.Exp(LogWaitingTime(k, x+dt/2, theta)) * dt
+		}
+		want := 2.0 / float64(k*(k-1))
+		if math.Abs(integral-want) > 1e-3*want {
+			t.Errorf("k=%d: integral = %v, want %v", k, integral, want)
+		}
+	}
+}
+
+func TestLogPriorMatchesIntervalProduct(t *testing.T) {
+	// Eq. 18 as a product over intervals must equal the closed form.
+	src := rng.NewMT19937(200)
+	names := []string{"a", "b", "c", "d", "e"}
+	theta := 1.3
+	for trial := 0; trial < 20; trial++ {
+		tr, err := gtree.RandomCoalescent(names, theta, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		k := tr.NTips()
+		for _, dt := range tr.IntervalDurations() {
+			want += LogWaitingTime(k, dt, theta)
+			k--
+		}
+		got := LogPrior(tr, theta)
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("trial %d: LogPrior %v != interval product %v", trial, got, want)
+		}
+	}
+}
+
+func TestLogPriorStatConsistent(t *testing.T) {
+	src := rng.NewMT19937(201)
+	names := []string{"a", "b", "c", "d"}
+	tr, err := gtree.RandomCoalescent(names, 2.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0.1, 1, 5} {
+		a := LogPrior(tr, theta)
+		b := LogPriorStat(tr.NTips(), tr.SumKKT(), theta)
+		if a != b {
+			t.Errorf("theta=%v: LogPrior %v != LogPriorStat %v", theta, a, b)
+		}
+	}
+}
+
+func TestLogPriorRatio(t *testing.T) {
+	src := rng.NewMT19937(202)
+	tr, err := gtree.RandomCoalescent([]string{"a", "b", "c"}, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, s := tr.NTips(), tr.SumKKT()
+	theta, theta0 := 2.5, 0.7
+	got := LogPriorRatio(n, s, theta, theta0)
+	want := LogPriorStat(n, s, theta) - LogPriorStat(n, s, theta0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ratio = %v, want %v", got, want)
+	}
+	if r0 := LogPriorRatio(n, s, theta0, theta0); r0 != 0 {
+		t.Errorf("ratio at theta0 = %v, want 0", r0)
+	}
+}
+
+func TestLogPriorThetaSensitivity(t *testing.T) {
+	// For a tree whose intervals match expectation under theta*, the
+	// prior should peak near theta*: check it is higher at theta* than at
+	// far-off values.
+	tr := gtree.New(4)
+	for i, name := range []string{"a", "b", "c", "d"} {
+		tr.Nodes[i].Name = name
+	}
+	// Expected interval durations for theta=1: 1/12, 1/6, 1/2.
+	link := func(p int, age float64, c0, c1 int) {
+		tr.Nodes[p].Age = age
+		tr.Nodes[p].Child = [2]int{c0, c1}
+		tr.Nodes[c0].Parent = p
+		tr.Nodes[c1].Parent = p
+	}
+	link(4, 1.0/12, 0, 1)
+	link(5, 1.0/12+1.0/6, 4, 2)
+	link(6, 1.0/12+1.0/6+0.5, 5, 3)
+	tr.Root = 6
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	at1 := LogPrior(tr, 1.0)
+	if LogPrior(tr, 0.05) >= at1 {
+		t.Error("prior at theta=0.05 should be below theta=1 for a theta=1-typical tree")
+	}
+	if LogPrior(tr, 20.0) >= at1 {
+		t.Error("prior at theta=20 should be below theta=1 for a theta=1-typical tree")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for label, f := range map[string]func(){
+		"k<2":            func() { LogWaitingTime(1, 1, 1) },
+		"negative t":     func() { LogWaitingTime(2, -1, 1) },
+		"zero theta":     func() { LogWaitingTime(2, 1, 0) },
+		"stat bad theta": func() { LogPriorStat(3, 1, -2) },
+		"stat bad tips":  func() { LogPriorStat(1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", label)
+				}
+			}()
+			f()
+		}()
+	}
+}

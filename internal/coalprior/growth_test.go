@@ -1,0 +1,146 @@
+package coalprior
+
+import (
+	"math"
+	"testing"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+)
+
+func randomAges(t *testing.T, n int, theta float64, seed uint32) []float64 {
+	t.Helper()
+	src := rng.NewMT19937(seed)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "t" + string(rune('a'+i))
+	}
+	tr, err := gtree.RandomCoalescent(names, theta, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.CoalescentAges()
+}
+
+func TestLogPriorGrowthZeroGMatchesConstant(t *testing.T) {
+	for trial := uint32(0); trial < 10; trial++ {
+		n := 4 + int(trial)%4
+		ages := randomAges(t, n, 1.3, 500+trial)
+		sum := 0.0
+		prev := 0.0
+		k := n
+		for _, a := range ages {
+			sum += float64(k*(k-1)) * (a - prev)
+			prev = a
+			k--
+		}
+		for _, theta := range []float64{0.3, 1, 4} {
+			got := LogPriorGrowth(n, ages, theta, 0)
+			want := LogPriorStat(n, sum, theta)
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("n=%d theta=%v: growth(g=0) %v != constant %v", n, theta, got, want)
+			}
+		}
+	}
+}
+
+func TestLogPriorGrowthTinyGContinuous(t *testing.T) {
+	ages := randomAges(t, 6, 1.0, 600)
+	at0 := LogPriorGrowth(6, ages, 1.0, 0)
+	atTiny := LogPriorGrowth(6, ages, 1.0, 1e-10)
+	if math.Abs(at0-atTiny) > 1e-6*math.Max(1, math.Abs(at0)) {
+		t.Errorf("discontinuity at g=0: %v vs %v", at0, atTiny)
+	}
+}
+
+func TestLogPriorGrowthNumericalIntegration(t *testing.T) {
+	// Cross-check the interval integral against Riemann sums.
+	ages := []float64{0.2, 0.5, 1.1}
+	n, theta, g := 4, 1.7, 0.8
+	got := LogPriorGrowth(n, ages, theta, g)
+
+	want := 0.0
+	prev := 0.0
+	k := n
+	for _, a := range ages {
+		want += math.Log(2/theta) + g*a
+		const grid = 200000
+		h := (a - prev) / grid
+		integral := 0.0
+		for i := 0; i < grid; i++ {
+			u := prev + (float64(i)+0.5)*h
+			integral += math.Exp(g*u) * h
+		}
+		want -= float64(k*(k-1)) / theta * integral
+		prev = a
+		k--
+	}
+	if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Errorf("LogPriorGrowth = %v, numerical %v", got, want)
+	}
+}
+
+func TestLogPriorGrowthDirection(t *testing.T) {
+	// A tree with very short deep intervals (rapid ancient coalescence)
+	// is more probable under positive growth (small ancestral
+	// population) than under g = 0.
+	compressed := []float64{0.02, 0.04, 0.05}
+	n := 4
+	if LogPriorGrowth(n, compressed, 1.0, 3.0) <= LogPriorGrowth(n, compressed, 1.0, 0) {
+		t.Skip("compressed tree not informative at these scales")
+	}
+	// And a tree with a very long deep interval favours g <= 0 over
+	// strong positive growth.
+	stretched := []float64{0.05, 0.1, 5.0}
+	if LogPriorGrowth(n, stretched, 1.0, 3.0) >= LogPriorGrowth(n, stretched, 1.0, 0) {
+		t.Errorf("stretched genealogy should not favour strong growth")
+	}
+}
+
+func TestLogPriorGrowthRatio(t *testing.T) {
+	ages := randomAges(t, 5, 1.0, 700)
+	if r := LogPriorGrowthRatio(5, ages, 1.0, 0.5, 1.0, 0.5); r != 0 {
+		t.Errorf("ratio at identical parameters = %v, want 0", r)
+	}
+	a := LogPriorGrowthRatio(5, ages, 2.0, 1.0, 0.7, 0.0)
+	b := LogPriorGrowth(5, ages, 2.0, 1.0) - LogPriorGrowth(5, ages, 0.7, 0.0)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("ratio = %v, want %v", a, b)
+	}
+}
+
+func TestLogPriorGrowthPanics(t *testing.T) {
+	ages := []float64{0.1, 0.2}
+	for label, f := range map[string]func(){
+		"bad theta":     func() { LogPriorGrowth(3, ages, 0, 1) },
+		"bad tips":      func() { LogPriorGrowth(1, nil, 1, 1) },
+		"length":        func() { LogPriorGrowth(4, ages, 1, 1) },
+		"unsorted ages": func() { LogPriorGrowth(3, []float64{0.2, 0.1}, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", label)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGrowthIntegralLimits(t *testing.T) {
+	if got := growthIntegral(0, 2, 0); got != 2 {
+		t.Errorf("g=0 integral = %v, want 2", got)
+	}
+	// Consistency with closed form for moderate g.
+	got := growthIntegral(0.5, 1.5, 2.0)
+	want := (math.Exp(3.0) - math.Exp(1.0)) / 2.0
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("integral = %v, want %v", got, want)
+	}
+	// Continuity near zero.
+	a := growthIntegral(1, 3, 1e-13)
+	if math.Abs(a-2) > 1e-6 {
+		t.Errorf("near-zero-g integral = %v, want ~2", a)
+	}
+}

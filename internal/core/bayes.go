@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgs/internal/coalprior"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/resim"
+	"mpcgs/internal/rng"
+)
+
+// Bayesian samples the joint posterior P(G, θ | D) ∝ P(D|G)·P(G|θ)·π(θ),
+// the second estimation mode of LAMARC 2.0 (Kuhner 2006, the paper's ref
+// [17]). Two move types alternate:
+//
+//   - Genealogy moves: the neighbourhood resimulation kernel at the
+//     current θ, accepted by the data-likelihood ratio (the conditional
+//     prior proposal cancels P(G|θ), Eq. 28).
+//   - θ moves: a multiplicative log-normal random walk. Under the
+//     log-uniform prior π(θ) ∝ 1/θ on [ThetaMin, ThetaMax] (LAMARC's
+//     default), the Hastings factor θ'/θ cancels the prior ratio exactly,
+//     leaving acceptance min(1, P(G|θ')/P(G|θ)); the data likelihood does
+//     not depend on θ (paper Eq. 23) and drops out.
+//
+// The output is a posterior sample of θ rather than a point estimate: no
+// EM loop, no driving value to iterate.
+type Bayesian struct {
+	eval *felsen.Evaluator
+	// ThetaMin and ThetaMax bound the log-uniform prior. Zero values
+	// select [1e-4, 1e2].
+	ThetaMin, ThetaMax float64
+	// ThetaStep is the log-normal random-walk scale. Zero selects 0.1.
+	ThetaStep float64
+	// ThetaEvery attempts a θ move after every k genealogy moves. Zero
+	// selects 1.
+	ThetaEvery int
+}
+
+// NewBayesian builds the joint (G, θ) sampler. Genealogy moves run
+// serially: the Bayesian mode exists for posterior inference, and its
+// parallel variant would reuse the GMH machinery unchanged (the index
+// chain is a valid move on G given θ).
+func NewBayesian(eval *felsen.Evaluator) *Bayesian {
+	return &Bayesian{eval: eval}
+}
+
+// BayesResult is the outcome of a Bayesian run.
+type BayesResult struct {
+	// Thetas holds the posterior θ draws (one per recorded step,
+	// including burn-in; the first Samples.Burnin entries are burn-in).
+	Thetas []float64
+	// Samples holds the genealogy draws in reduced form.
+	Samples *SampleSet
+	// TreeAccepted/TreeMoves and ThetaAccepted/ThetaMoves count the two
+	// move types.
+	TreeAccepted, TreeMoves   int
+	ThetaAccepted, ThetaMoves int
+}
+
+// PosteriorMeanTheta returns the post-burn-in mean of the θ draws.
+func (r *BayesResult) PosteriorMeanTheta() float64 {
+	xs := r.Thetas[r.Samples.Burnin:]
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Run samples the joint posterior. cfg.Theta is the initial θ (it must
+// lie inside the prior support).
+func (b *Bayesian) Run(init *gtree.Tree, cfg ChainConfig) (*BayesResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := b.eval.CheckTree(init); err != nil {
+		return nil, err
+	}
+	if init.NTips() < 3 {
+		return nil, fmt.Errorf("core: sampler needs at least 3 sequences, got %d", init.NTips())
+	}
+	tmin, tmax := b.ThetaMin, b.ThetaMax
+	if tmin <= 0 {
+		tmin = 1e-4
+	}
+	if tmax <= 0 {
+		tmax = 1e2
+	}
+	if tmin >= tmax {
+		return nil, fmt.Errorf("core: bad theta prior range [%v, %v]", tmin, tmax)
+	}
+	if cfg.Theta < tmin || cfg.Theta > tmax {
+		return nil, fmt.Errorf("core: initial theta %v outside prior support [%v, %v]", cfg.Theta, tmin, tmax)
+	}
+	step := b.ThetaStep
+	if step <= 0 {
+		step = 0.1
+	}
+	every := b.ThetaEvery
+	if every <= 0 {
+		every = 1
+	}
+
+	src := seedSource(cfg.Seed, 6)
+	cur := init.Clone()
+	prop := init.Clone()
+	curLL := b.eval.LogLikelihoodSerial(cur)
+	theta := cfg.Theta
+
+	total := cfg.Burnin + cfg.Samples
+	set := &SampleSet{
+		NTips:  init.NTips(),
+		Theta0: cfg.Theta,
+		Burnin: cfg.Burnin,
+		Stats:  make([]float64, 0, total),
+		Ages:   make([][]float64, 0, total),
+		LogLik: make([]float64, 0, total),
+	}
+	res := &BayesResult{Samples: set, Thetas: make([]float64, 0, total)}
+
+	curAges := cur.CoalescentAges()
+	curStat := sumKKTFromAges(set.NTips, curAges)
+	for step_ := 0; step_ < total; step_++ {
+		// Genealogy move at the current theta.
+		target := resim.PickTarget(cur, src)
+		prop.CopyFrom(cur)
+		if err := resim.Resimulate(prop, target, theta, src); err != nil {
+			return nil, fmt.Errorf("core: proposal failed: %w", err)
+		}
+		res.TreeMoves++
+		propLL := b.eval.LogLikelihoodSerial(prop)
+		if logr := propLL - curLL; logr >= 0 || src.Float64() < math.Exp(logr) {
+			cur, prop = prop, cur
+			curLL = propLL
+			curAges = cur.CoalescentAges()
+			curStat = sumKKTFromAges(set.NTips, curAges)
+			res.TreeAccepted++
+		}
+
+		// Theta move.
+		if step_%every == 0 {
+			res.ThetaMoves++
+			next := rng.LogNormalStep(src, theta, step)
+			if next >= tmin && next <= tmax {
+				logr := coalprior.LogPriorStat(set.NTips, curStat, next) -
+					coalprior.LogPriorStat(set.NTips, curStat, theta)
+				if logr >= 0 || src.Float64() < math.Exp(logr) {
+					theta = next
+					res.ThetaAccepted++
+				}
+			}
+		}
+
+		set.Stats = append(set.Stats, curStat)
+		set.Ages = append(set.Ages, curAges)
+		set.LogLik = append(set.LogLik, curLL)
+		res.Thetas = append(res.Thetas, theta)
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/phylip"
+)
+
+// EMConfig drives the outer Expectation-Maximization loop of the program
+// (paper §5.1, Fig. 11): each iteration samples genealogies under the
+// current driving θ, maximizes the relative likelihood to obtain a new θ,
+// and repeats until the estimate stabilizes or the iteration budget is
+// exhausted.
+type EMConfig struct {
+	InitialTheta float64
+	Iterations   int
+	Burnin       int
+	Samples      int
+	Seed         uint64
+	// Tolerance stops the loop once |Δθ|/θ falls below it. Zero selects
+	// 1e-3.
+	Tolerance float64
+	// MLE tunes the inner gradient ascent.
+	MLE MLEConfig
+}
+
+func (c *EMConfig) withDefaults() EMConfig {
+	out := *c
+	if out.Tolerance <= 0 {
+		out.Tolerance = 1e-3
+	}
+	if out.Iterations <= 0 {
+		out.Iterations = 10
+	}
+	return out
+}
+
+// EMIteration records one round of the loop.
+type EMIteration struct {
+	ThetaIn        float64
+	ThetaOut       float64
+	AcceptanceRate float64
+	MeanLogLik     float64
+}
+
+// EMResult is the outcome of the full estimation.
+type EMResult struct {
+	Theta      float64
+	History    []EMIteration
+	LastSet    *SampleSet  // sample set of the final iteration
+	FinalState *gtree.Tree // final chain state
+}
+
+// RunEM performs the full maximum-likelihood estimation of θ: the overall
+// program flow of paper Fig. 11. Each iteration reuses the previous
+// iteration's final genealogy as its starting state, so later iterations
+// begin near the posterior and the burn-in cost is paid usefully.
+func RunEM(s Sampler, init *gtree.Tree, cfg EMConfig, dev *device.Device) (*EMResult, error) {
+	c := cfg.withDefaults()
+	if c.InitialTheta <= 0 {
+		return nil, fmt.Errorf("core: initial theta %v must be positive", c.InitialTheta)
+	}
+	theta := c.InitialTheta
+	cur := init
+	res := &EMResult{}
+	for it := 0; it < c.Iterations; it++ {
+		run, err := s.Run(cur, ChainConfig{
+			Theta:   theta,
+			Burnin:  c.Burnin,
+			Samples: c.Samples,
+			Seed:    c.Seed + uint64(it)*0x9e3779b9,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: EM iteration %d: %w", it, err)
+		}
+		next, err := MaximizeTheta(run.Samples, c.MLE, dev)
+		if err != nil {
+			return nil, fmt.Errorf("core: EM iteration %d: %w", it, err)
+		}
+		lls := run.Samples.PostBurninLogLik()
+		meanLL := 0.0
+		for _, v := range lls {
+			meanLL += v
+		}
+		if len(lls) > 0 {
+			meanLL /= float64(len(lls))
+		}
+		res.History = append(res.History, EMIteration{
+			ThetaIn:        theta,
+			ThetaOut:       next,
+			AcceptanceRate: run.AcceptanceRate(),
+			MeanLogLik:     meanLL,
+		})
+		res.LastSet = run.Samples
+		res.FinalState = run.Final
+		cur = run.Final
+		moved := math.Abs(next-theta) / theta
+		theta = next
+		if moved < c.Tolerance {
+			break
+		}
+	}
+	res.Theta = theta
+	return res, nil
+}
+
+// InitialTree builds the sampler's starting genealogy from the alignment:
+// UPGMA over per-site pairwise differences (paper §5.1.3). When the
+// sequences are too similar to give the tree any height (all distances
+// zero), a random coalescent genealogy at the driving theta stands in, so
+// the chain always starts from a valid state.
+func InitialTree(aln *phylip.Alignment, theta0 float64, seed uint64) (*gtree.Tree, error) {
+	if err := aln.Validate(); err != nil {
+		return nil, err
+	}
+	d := aln.DistanceMatrix()
+	L := float64(aln.SeqLen())
+	for i := range d {
+		for j := range d[i] {
+			d[i][j] /= L
+		}
+	}
+	t, err := UPGMATree(d, aln.Names)
+	if err != nil {
+		return nil, err
+	}
+	if t.Height() < 1e-9 {
+		src := seedSource(seed, 3)
+		return gtree.RandomCoalescent(aln.Names, theta0, src)
+	}
+	return t, nil
+}
+
+// UPGMATree wraps gtree.UPGMA; distances should be per-site divergences so
+// node ages land in the same units as the likelihood model's branch
+// lengths (expected substitutions per site).
+func UPGMATree(dist [][]float64, names []string) (*gtree.Tree, error) {
+	return gtree.UPGMA(dist, names)
+}

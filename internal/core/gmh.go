@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/logspace"
+	"mpcgs/internal/resim"
+	"mpcgs/internal/rng"
+)
+
+// GMH is the Generalized Metropolis-Hastings sampler of Calderhead applied
+// to coalescent genealogies: the paper's contribution (§4.1, §4.3).
+//
+// Each iteration draws the auxiliary variable φ (a target neighbourhood,
+// uniform over non-root interior nodes), generates N proposals in parallel
+// by resimulating that same neighbourhood of the current state — each
+// proposal on its own device thread with its own PRNG stream, computing
+// its own data likelihood exactly as the paper's proposal kernel does
+// (§5.2.1) — and then draws SamplesPerSet states from the stationary
+// distribution of the index chain, whose weights reduce to the data
+// likelihoods P(D|G̃_i) (Eq. 29-31). The last draw seeds the next proposal
+// round. Burn-in uses the same parallel machinery: there is no serial
+// burn-in component (§4.1).
+type GMH struct {
+	eval *felsen.Evaluator
+	dev  *device.Device
+	// Proposals is N, the number of new candidates per round.
+	Proposals int
+	// SamplesPerSet is how many index draws each round yields; Calderhead
+	// uses N, and 0 selects that default.
+	SamplesPerSet int
+	// NestedSiteParallelism additionally parallelizes each proposal's
+	// likelihood over sites (the paper's dynamic parallelism, §4.4). With
+	// N at or above the worker count the proposal-level parallelism
+	// already saturates the device, so this defaults to off.
+	NestedSiteParallelism bool
+}
+
+// NewGMH builds the multiple-proposal sampler with N proposals per round
+// executing on dev.
+func NewGMH(eval *felsen.Evaluator, dev *device.Device, proposals int) *GMH {
+	return &GMH{eval: eval, dev: dev, Proposals: proposals}
+}
+
+// Name implements Sampler.
+func (g *GMH) Name() string { return "gmh" }
+
+// Run implements Sampler.
+func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := g.eval.CheckTree(init); err != nil {
+		return nil, err
+	}
+	if init.NTips() < 3 {
+		return nil, fmt.Errorf("core: sampler needs at least 3 sequences, got %d", init.NTips())
+	}
+	n := g.Proposals
+	if n < 1 {
+		return nil, fmt.Errorf("core: GMH needs at least 1 proposal per round, got %d", n)
+	}
+	perSet := g.SamplesPerSet
+	if perSet <= 0 {
+		perSet = n
+	}
+
+	host := seedSource(cfg.Seed, 2)
+	streams := rng.NewStreamSet(n, cfg.Seed^0x9e3779b97f4a7c15)
+
+	// Proposal set: slot 0 holds the current state, slots 1..N the new
+	// candidates. All slots are preallocated once (paper §5.1.3).
+	set := make([]*gtree.Tree, n+1)
+	for i := range set {
+		set[i] = init.Clone()
+	}
+	logw := make([]float64, n+1)
+	stats := make([]float64, n+1)
+	ages := make([][]float64, n+1)
+	errs := make([]error, n)
+
+	cur := 0 // index of the current state within the set
+	logw[cur] = g.likelihood(set[cur])
+	ages[cur] = set[cur].CoalescentAges()
+	stats[cur] = sumKKTFromAges(init.NTips(), ages[cur])
+
+	total := cfg.Burnin + cfg.Samples
+	out := &SampleSet{
+		NTips:  init.NTips(),
+		Theta0: cfg.Theta,
+		Burnin: cfg.Burnin,
+		Stats:  make([]float64, 0, total),
+		Ages:   make([][]float64, 0, total),
+		LogLik: make([]float64, 0, total),
+	}
+	res := &Result{Samples: out}
+
+	for out.Len() < total {
+		// Auxiliary variable φ: the shared resimulation target, making
+		// every member of the set able to propose the rest (§4.3).
+		phi := resim.PickTarget(set[cur], host)
+
+		// Proposal kernel: one device thread per candidate (§5.2.1). The
+		// thread owning the current state stays idle, exactly as the
+		// paper notes for the generator's thread.
+		slots := make([]int, 0, n)
+		for i := 0; i <= n; i++ {
+			if i != cur {
+				slots = append(slots, i)
+			}
+		}
+		g.dev.Launch(n, func(tid int) {
+			i := slots[tid]
+			p := set[i]
+			p.CopyFrom(set[cur])
+			if err := resim.Resimulate(p, phi, cfg.Theta, streams.Stream(tid)); err != nil {
+				// A numerically impossible region: the candidate gets zero
+				// weight and can never be sampled; the round proceeds.
+				errs[tid] = err
+				logw[i] = logspace.NegInf
+				return
+			}
+			errs[tid] = nil
+			logw[i] = g.likelihood(p)
+			ages[i] = p.CoalescentAges()
+			stats[i] = sumKKTFromAges(out.NTips, ages[i])
+		})
+		res.Proposals += n
+
+		// Sampling stage: draw from the index chain's stationary
+		// distribution, w_i ∝ P(D|G̃_i) (Eq. 31), perSet times.
+		last := cur
+		for k := 0; k < perSet && out.Len() < total; k++ {
+			idx := rng.LogCategorical(host, logw)
+			if idx != last {
+				res.Accepted++
+			}
+			last = idx
+			out.Stats = append(out.Stats, stats[idx])
+			out.Ages = append(out.Ages, ages[idx])
+			out.LogLik = append(out.LogLik, logw[idx])
+		}
+		cur = last
+	}
+	res.Final = set[cur].Clone()
+	return res, nil
+}
+
+func (g *GMH) likelihood(t *gtree.Tree) float64 {
+	if g.NestedSiteParallelism {
+		return g.eval.LogLikelihood(t)
+	}
+	return g.eval.LogLikelihoodSerial(t)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/resim"
+	"mpcgs/internal/rng"
+)
+
+// Heated is Metropolis-coupled MCMC (MC³), the heating strategy of the
+// production LAMARC package (Kuhner 2006): P chains run the same
+// neighbourhood-resimulation kernel against tempered posteriors
+// P(D|G)^{β_i}·P(G|θ) with 1 = β_0 > β_1 > ... > β_{P-1}, and adjacent
+// chains propose state swaps. Hot chains traverse likelihood valleys that
+// trap the cold chain, and the swap moves ferry good states down the
+// ladder. Only the cold chain's draws are recorded.
+//
+// MC³ parallelizes across the ladder, but like the independent-chains
+// approach it cannot parallelize burn-in below one chain's length — the
+// contrast motivating the paper's GMH sampler. It is provided both as a
+// baseline and because it is the search strategy the reference package
+// actually ships.
+type Heated struct {
+	eval *felsen.Evaluator
+	dev  *device.Device
+	// Chains is the ladder size P (>= 1; 1 reduces to plain MH).
+	Chains int
+	// MaxTemp is the hottest chain's temperature T_{P-1} (β = 1/T).
+	// Zero selects 8. Intermediate temperatures are geometric.
+	MaxTemp float64
+	// SwapEvery is the number of within-chain steps between swap
+	// attempts. Zero selects 1 (a swap attempt every step, LAMARC's
+	// default behaviour).
+	SwapEvery int
+}
+
+// NewHeated builds an MC³ sampler with the given ladder size.
+func NewHeated(eval *felsen.Evaluator, dev *device.Device, chains int) *Heated {
+	return &Heated{eval: eval, dev: dev, Chains: chains}
+}
+
+// Name implements Sampler.
+func (h *Heated) Name() string { return "heated" }
+
+// Run implements Sampler.
+func (h *Heated) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := h.eval.CheckTree(init); err != nil {
+		return nil, err
+	}
+	if init.NTips() < 3 {
+		return nil, fmt.Errorf("core: sampler needs at least 3 sequences, got %d", init.NTips())
+	}
+	p := h.Chains
+	if p < 1 {
+		return nil, fmt.Errorf("core: heated sampler needs at least 1 chain, got %d", p)
+	}
+	maxTemp := h.MaxTemp
+	if maxTemp <= 0 {
+		maxTemp = 8
+	}
+	if maxTemp < 1 {
+		return nil, fmt.Errorf("core: MaxTemp %v must be at least 1", maxTemp)
+	}
+	swapEvery := h.SwapEvery
+	if swapEvery <= 0 {
+		swapEvery = 1
+	}
+
+	// Geometric temperature ladder: T_i = MaxTemp^{i/(P-1)}.
+	betas := make([]float64, p)
+	for i := range betas {
+		if p == 1 {
+			betas[i] = 1
+			break
+		}
+		betas[i] = math.Pow(maxTemp, -float64(i)/float64(p-1))
+	}
+
+	host := seedSource(cfg.Seed, 5)
+	streams := rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f)
+
+	cur := make([]*gtree.Tree, p)
+	prop := make([]*gtree.Tree, p)
+	logL := make([]float64, p)
+	for i := range cur {
+		cur[i] = init.Clone()
+		prop[i] = init.Clone()
+	}
+	logL0 := h.eval.LogLikelihoodSerial(init)
+	for i := range logL {
+		logL[i] = logL0
+	}
+
+	total := cfg.Burnin + cfg.Samples
+	out := &SampleSet{
+		NTips:  init.NTips(),
+		Theta0: cfg.Theta,
+		Burnin: cfg.Burnin,
+		Stats:  make([]float64, 0, total),
+		Ages:   make([][]float64, 0, total),
+		LogLik: make([]float64, 0, total),
+	}
+	res := &Result{Samples: out}
+	accepted := make([]bool, p)
+
+	for step := 0; step < total; step++ {
+		// One tempered MH step per chain, in parallel across the ladder.
+		// Each chain owns its PRNG stream, so results are deterministic
+		// regardless of scheduling.
+		h.dev.Launch(p, func(i int) {
+			src := streams.Stream(i)
+			target := resim.PickTarget(cur[i], src)
+			prop[i].CopyFrom(cur[i])
+			if err := resim.Resimulate(prop[i], target, cfg.Theta, src); err != nil {
+				accepted[i] = false
+				return
+			}
+			pl := h.eval.LogLikelihoodSerial(prop[i])
+			logr := betas[i] * (pl - logL[i])
+			if logr >= 0 || src.Float64() < math.Exp(logr) {
+				cur[i], prop[i] = prop[i], cur[i]
+				logL[i] = pl
+				accepted[i] = true
+			} else {
+				accepted[i] = false
+			}
+		})
+		res.Proposals += p
+		if accepted[0] {
+			res.Accepted++
+		}
+
+		// Swap attempt between a random adjacent pair (serial, cheap).
+		if p > 1 && step%swapEvery == 0 {
+			i := rng.Intn(host, p-1)
+			j := i + 1
+			logr := (betas[i] - betas[j]) * (logL[j] - logL[i])
+			if logr >= 0 || host.Float64() < math.Exp(logr) {
+				cur[i], cur[j] = cur[j], cur[i]
+				logL[i], logL[j] = logL[j], logL[i]
+				res.Swaps++
+			}
+			res.SwapAttempts++
+		}
+
+		ages := cur[0].CoalescentAges()
+		out.Stats = append(out.Stats, sumKKTFromAges(out.NTips, ages))
+		out.Ages = append(out.Ages, ages)
+		out.LogLik = append(out.LogLik, logL[0])
+	}
+	res.Final = cur[0].Clone()
+	return res, nil
+}

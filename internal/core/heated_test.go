@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/seqgen"
+	"mpcgs/internal/subst"
+)
+
+func TestHeatedFlatDataSamplesPrior(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical chain test")
+	}
+	// With a flat likelihood every tempered posterior equals the prior,
+	// so the cold chain must reproduce Kingman moments and every swap
+	// must be accepted.
+	theta := 1.4
+	dev := device.New(4)
+	eval := flatEvaluator(t, 5, dev)
+	init := startTree(t, names(5), theta, 211)
+	h := NewHeated(eval, dev, 4)
+	res, err := h.Run(init, ChainConfig{Theta: theta, Burnin: 500, Samples: 30000, Seed: 212})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPriorMoments(t, "Heated", res.Samples, theta)
+	if res.SwapAttempts == 0 {
+		t.Fatal("no swap attempts recorded")
+	}
+	if res.Swaps != res.SwapAttempts {
+		t.Errorf("flat data: %d of %d swaps accepted, want all", res.Swaps, res.SwapAttempts)
+	}
+}
+
+func TestHeatedSingleChainMatchesPosterior(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical chain test")
+	}
+	// P=1 heated sampling is plain MH; with more chains the cold chain
+	// must still target the same posterior. Compare posterior means.
+	aln, _, err := seqgen.SimulateData(6, 100, 1.0, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(4)
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := felsen.New(model, aln, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := InitialTree(aln, 1.0, 222)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ChainConfig{Theta: 1.0, Burnin: 2000, Samples: 20000, Seed: 223}
+	mh, err := NewMH(eval).Run(init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heated, err := NewHeated(eval, dev, 4).Run(init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, v := range xs {
+			s += v
+		}
+		return s / float64(len(xs))
+	}
+	a := mean(mh.Samples.PostBurninStats())
+	b := mean(heated.Samples.PostBurninStats())
+	if math.Abs(a-b) > 0.10*math.Max(a, b) {
+		t.Errorf("posterior mean SumKKT: MH %v vs heated %v (>10%% apart)", a, b)
+	}
+}
+
+func TestHeatedDeterministicAcrossWorkers(t *testing.T) {
+	aln, _, err := seqgen.SimulateData(6, 60, 1.0, 231)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := InitialTree(aln, 1.0, 232)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ChainConfig{Theta: 1.0, Burnin: 50, Samples: 300, Seed: 233}
+	var ref []float64
+	for _, workers := range []int{1, 4} {
+		dev := device.New(workers)
+		eval, err := felsen.New(subst.NewJC69(), aln, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewHeated(eval, dev, 3).Run(init, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Samples.Stats
+			continue
+		}
+		for i := range ref {
+			if res.Samples.Stats[i] != ref[i] {
+				t.Fatalf("workers=%d: draw %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestHeatedSwapsImproveColdChainMobility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical chain test")
+	}
+	// On real data the heated ladder should accept a healthy fraction of
+	// swaps (the ladder is doing work) without degrading the posterior.
+	aln, _, err := seqgen.SimulateData(8, 200, 1.0, 241)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(4)
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := felsen.New(model, aln, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := InitialTree(aln, 1.0, 242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHeated(eval, dev, 4)
+	res, err := h.Run(init, ChainConfig{Theta: 1.0, Burnin: 500, Samples: 5000, Seed: 243})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(res.Swaps) / float64(res.SwapAttempts)
+	if rate <= 0.05 {
+		t.Errorf("swap acceptance %v suspiciously low: ladder not exchanging", rate)
+	}
+}
+
+func TestHeatedValidation(t *testing.T) {
+	eval := flatEvaluator(t, 4, device.Serial())
+	init := startTree(t, names(4), 1, 251)
+	good := ChainConfig{Theta: 1, Burnin: 1, Samples: 2}
+	if _, err := NewHeated(eval, device.Serial(), 0).Run(init, good); err == nil {
+		t.Error("0 chains accepted")
+	}
+	h := NewHeated(eval, device.Serial(), 2)
+	h.MaxTemp = 0.5
+	if _, err := h.Run(init, good); err == nil {
+		t.Error("MaxTemp < 1 accepted")
+	}
+	if _, err := NewHeated(eval, device.Serial(), 2).Run(init, ChainConfig{Theta: 0, Samples: 1}); err == nil {
+		t.Error("bad chain config accepted")
+	}
+}
+
+func TestHeatedSingleChainNoSwaps(t *testing.T) {
+	eval := flatEvaluator(t, 4, device.Serial())
+	init := startTree(t, names(4), 1, 261)
+	res, err := NewHeated(eval, device.Serial(), 1).Run(init, ChainConfig{Theta: 1, Burnin: 10, Samples: 50, Seed: 262})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapAttempts != 0 {
+		t.Errorf("single-chain run attempted %d swaps", res.SwapAttempts)
+	}
+}

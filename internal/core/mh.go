@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/resim"
+)
+
+// MH is the serial single-chain Metropolis-Hastings sampler implementing
+// the LAMARC algorithm (paper §4.2): at each step one neighbourhood is
+// resimulated from the conditional coalescent prior and accepted with
+// probability min(1, P(D|G')/P(D|G)) — the prior terms cancel out of the
+// ratio exactly as in Eq. 28 because the proposal density is proportional
+// to the prior.
+type MH struct {
+	eval *felsen.Evaluator
+}
+
+// NewMH builds the baseline sampler over the given likelihood evaluator.
+// The evaluator's serial path is always used: this sampler is the
+// single-processor reference of every speedup measurement.
+func NewMH(eval *felsen.Evaluator) *MH { return &MH{eval: eval} }
+
+// Name implements Sampler.
+func (m *MH) Name() string { return "mh" }
+
+// Run implements Sampler.
+func (m *MH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := m.eval.CheckTree(init); err != nil {
+		return nil, err
+	}
+	if init.NTips() < 3 {
+		return nil, fmt.Errorf("core: sampler needs at least 3 sequences, got %d", init.NTips())
+	}
+	src := seedSource(cfg.Seed, 1)
+
+	cur := init.Clone()
+	prop := init.Clone()
+	curLL := m.eval.LogLikelihoodSerial(cur)
+
+	total := cfg.Burnin + cfg.Samples
+	set := &SampleSet{
+		NTips:  init.NTips(),
+		Theta0: cfg.Theta,
+		Burnin: cfg.Burnin,
+		Stats:  make([]float64, 0, total),
+		Ages:   make([][]float64, 0, total),
+		LogLik: make([]float64, 0, total),
+	}
+	res := &Result{Samples: set}
+
+	curAges := cur.CoalescentAges()
+	for step := 0; step < total; step++ {
+		target := resim.PickTarget(cur, src)
+		prop.CopyFrom(cur)
+		if err := resim.Resimulate(prop, target, cfg.Theta, src); err != nil {
+			return nil, fmt.Errorf("core: proposal failed at step %d: %w", step, err)
+		}
+		res.Proposals++
+		propLL := m.eval.LogLikelihoodSerial(prop)
+		logr := propLL - curLL
+		if logr >= 0 || src.Float64() < math.Exp(logr) {
+			cur, prop = prop, cur
+			curLL = propLL
+			curAges = cur.CoalescentAges()
+			res.Accepted++
+		}
+		set.Stats = append(set.Stats, sumKKTFromAges(set.NTips, curAges))
+		set.Ages = append(set.Ages, curAges)
+		set.LogLik = append(set.LogLik, curLL)
+	}
+	res.Final = cur
+	return res, nil
+}

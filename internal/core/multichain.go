@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/gtree"
+)
+
+// MultiChain is the classic parallelization the paper argues against
+// (§3, Fig. 6): P independent Metropolis-Hastings chains run concurrently,
+// each paying its own full burn-in, with the post-burn-in samples pooled.
+// Total work is P·B + S for S pooled samples, so by Amdahl's law the
+// speedup over a single chain saturates at (B+S)/B no matter how many
+// processors are added — the motivation for the GMH sampler.
+type MultiChain struct {
+	eval   *felsen.Evaluator
+	dev    *device.Device
+	Chains int
+}
+
+// NewMultiChain builds the P-independent-chains baseline on dev.
+func NewMultiChain(eval *felsen.Evaluator, dev *device.Device, chains int) *MultiChain {
+	return &MultiChain{eval: eval, dev: dev, Chains: chains}
+}
+
+// Name implements Sampler.
+func (m *MultiChain) Name() string { return "multichain" }
+
+// Run implements Sampler. Burnin applies to every chain; the Samples
+// quota is split evenly across chains (each chain draws ceil(S/P), and the
+// pooled set is truncated to S). The recorded SampleSet concatenates the
+// chains with a total burn-in of Chains x Burnin leading... since draws
+// are pooled per chain, the set instead marks Burnin as 0 and excludes
+// burn-in draws entirely, which is the standard pooling.
+func (m *MultiChain) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := m.Chains
+	if p < 1 {
+		return nil, fmt.Errorf("core: MultiChain needs at least 1 chain, got %d", p)
+	}
+	perChain := (cfg.Samples + p - 1) / p
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	m.dev.Launch(p, func(chain int) {
+		sub := NewMH(m.eval)
+		results[chain], errs[chain] = sub.Run(init, ChainConfig{
+			Theta:   cfg.Theta,
+			Burnin:  cfg.Burnin,
+			Samples: perChain,
+			Seed:    cfg.Seed + uint64(chain)*0x01000193,
+		})
+	})
+	for chain, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: chain %d: %w", chain, err)
+		}
+	}
+	out := &SampleSet{
+		NTips:  init.NTips(),
+		Theta0: cfg.Theta,
+		Burnin: 0,
+		Stats:  make([]float64, 0, cfg.Samples),
+		Ages:   make([][]float64, 0, cfg.Samples),
+		LogLik: make([]float64, 0, cfg.Samples),
+	}
+	res := &Result{Samples: out}
+	for _, r := range results {
+		res.Accepted += r.Accepted
+		res.Proposals += r.Proposals
+		stats := r.Samples.PostBurninStats()
+		agesList := r.Samples.PostBurninAges()
+		lls := r.Samples.PostBurninLogLik()
+		for i := range stats {
+			if out.Len() >= cfg.Samples {
+				break
+			}
+			out.Stats = append(out.Stats, stats[i])
+			out.Ages = append(out.Ages, agesList[i])
+			out.LogLik = append(out.LogLik, lls[i])
+		}
+	}
+	res.Final = results[p-1].Final
+	return res, nil
+}

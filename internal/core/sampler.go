@@ -1,0 +1,132 @@
+// Package core implements the samplers of the paper and the
+// Expectation-Maximization driver around them:
+//
+//   - MH: the serial single-chain Metropolis-Hastings sampler of the
+//     LAMARC package (paper §4.2), the baseline of every comparison.
+//   - GMH: the multiple-proposal Generalized Metropolis-Hastings sampler
+//     of Calderhead applied to genealogies — the paper's contribution
+//     (§4.1, §4.3, §5.1.4).
+//   - MultiChain: the classic run-P-independent-chains parallelization
+//     whose per-chain burn-in makes it non-scalable (paper §3, Fig. 6).
+//   - Maximum likelihood estimation of θ over a sample set (§5.1.5,
+//     Algorithm 2) and the EM loop that alternates sampling and
+//     maximization (§5.1, Fig. 11).
+package core
+
+import (
+	"fmt"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+)
+
+// ChainConfig parameterizes one sampling run.
+type ChainConfig struct {
+	// Theta is the driving value θ0: the proposal kernel resimulates from
+	// the coalescent prior at this parameter, and relative likelihoods are
+	// measured against it.
+	Theta float64
+	// Burnin is the number of leading draws excluded from estimation.
+	Burnin int
+	// Samples is the number of post-burn-in draws to record.
+	Samples int
+	// Seed drives all pseudo-randomness of the run deterministically.
+	Seed uint64
+}
+
+func (c *ChainConfig) validate() error {
+	if c.Theta <= 0 {
+		return fmt.Errorf("core: driving theta %v must be positive", c.Theta)
+	}
+	if c.Burnin < 0 {
+		return fmt.Errorf("core: negative burn-in %d", c.Burnin)
+	}
+	if c.Samples <= 0 {
+		return fmt.Errorf("core: need at least one sample, got %d", c.Samples)
+	}
+	return nil
+}
+
+// SampleSet is the reduced record of a chain run. Each draw keeps only the
+// coalescent event ages of its genealogy — "nothing more than the time
+// intervals are stored for each sample" (paper §5.1.3) — together with the
+// derived sufficient statistic S = Σ k(k-1)t for the constant-size
+// likelihood, plus the data log-likelihood for traces. The first Burnin
+// entries are the burn-in period.
+type SampleSet struct {
+	NTips  int
+	Theta0 float64
+	Burnin int
+	Stats  []float64   // SumKKT per draw
+	Ages   [][]float64 // sorted coalescent event ages per draw
+	LogLik []float64   // log P(D|G) per draw
+}
+
+// Len returns the total number of recorded draws including burn-in.
+func (s *SampleSet) Len() int { return len(s.Stats) }
+
+// PostBurninStats returns the sufficient statistics of the estimation
+// draws (everything after the burn-in period).
+func (s *SampleSet) PostBurninStats() []float64 { return s.Stats[s.Burnin:] }
+
+// PostBurninAges returns the per-draw coalescent event ages of the
+// estimation draws.
+func (s *SampleSet) PostBurninAges() [][]float64 { return s.Ages[s.Burnin:] }
+
+// PostBurninLogLik returns the data log-likelihood trace of the
+// estimation draws.
+func (s *SampleSet) PostBurninLogLik() []float64 { return s.LogLik[s.Burnin:] }
+
+// sumKKTFromAges computes S = Σ k(k-1)·t from sorted coalescent ages
+// without retraversing the tree.
+func sumKKTFromAges(nTips int, ages []float64) float64 {
+	s := 0.0
+	prev := 0.0
+	k := nTips
+	for _, a := range ages {
+		s += float64(k*(k-1)) * (a - prev)
+		prev = a
+		k--
+	}
+	return s
+}
+
+// Result is the outcome of a sampling run.
+type Result struct {
+	Samples *SampleSet
+	// Final is the last chain state, used to seed the next EM iteration.
+	Final *gtree.Tree
+	// Accepted counts accepted moves (MH) or draws that changed the chain
+	// state (GMH); Proposals counts candidate genealogies generated.
+	Accepted  int
+	Proposals int
+	// Swaps and SwapAttempts count temperature-ladder exchanges (heated
+	// sampler only).
+	Swaps        int
+	SwapAttempts int
+}
+
+// AcceptanceRate returns the fraction of state-changing draws.
+func (r *Result) AcceptanceRate() float64 {
+	if r.Proposals == 0 {
+		return 0
+	}
+	return float64(r.Accepted) / float64(r.Proposals)
+}
+
+// Sampler is a genealogy sampler: it draws genealogies from the posterior
+// P(G|D,θ) starting at init, under the run configuration.
+type Sampler interface {
+	Name() string
+	Run(init *gtree.Tree, cfg ChainConfig) (*Result, error)
+}
+
+// seedSource derives an MT19937 from a 64-bit seed and a stream label via
+// SplitMix64, keeping independent components decorrelated.
+func seedSource(seed uint64, label uint64) *rng.MT19937 {
+	state := seed ^ 0x5851f42d4c957f2d*label
+	v := rng.SplitMix64(&state)
+	m := &rng.MT19937{}
+	m.SeedArray([]uint32{uint32(v), uint32(v >> 32), uint32(label)})
+	return m
+}

@@ -1,0 +1,211 @@
+// Package device provides the simulated GPGPU execution substrate the
+// sampler's kernels run on.
+//
+// The paper targets CUDA hardware (§4.4): kernels launched over grids of
+// threads, warp-shuffle tree reductions, dynamic parallelism (kernels
+// launching kernels) and constant memory. This package reproduces that
+// execution model over goroutines: Launch runs a kernel over a 1-D grid
+// with bounded worker parallelism, reductions are performed hierarchically
+// (pairwise shuffle-style within 32-wide warps, then a serial combine by a
+// master thread exactly as §5.2.1-5.2.3 describe), and nested Launch calls
+// are legal from inside kernels. Absolute throughput differs from a GPU,
+// but the work decomposition — which is what the paper's scaling results
+// measure — is preserved.
+package device
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mpcgs/internal/logspace"
+)
+
+// WarpSize is the number of threads cooperating in one shuffle reduction,
+// matching the 32-thread warps of every CUDA compute version (§5.1.3).
+const WarpSize = 32
+
+// Device executes kernels with a bounded degree of parallelism.
+type Device struct {
+	workers  int
+	launches atomic.Int64
+	threads  atomic.Int64
+}
+
+// New returns a device with the given number of workers. Non-positive
+// workers selects runtime.GOMAXPROCS(0).
+func New(workers int) *Device {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Device{workers: workers}
+}
+
+// Serial returns a single-worker device: every kernel runs sequentially on
+// the calling goroutine. It is the "1 processing unit" baseline of the
+// speedup experiments.
+func Serial() *Device { return New(1) }
+
+// Workers returns the device's degree of parallelism.
+func (d *Device) Workers() int { return d.workers }
+
+// Stats returns the cumulative number of kernel launches and kernel
+// threads executed, for instrumentation and tests.
+func (d *Device) Stats() (launches, threads int64) {
+	return d.launches.Load(), d.threads.Load()
+}
+
+// Launch runs kernel for every thread id in [0, n), returning when all
+// threads have completed (launch + synchronize). Threads are distributed
+// over the device's workers in contiguous chunks. Kernels may call Launch
+// themselves (dynamic parallelism, §4.4); nesting spawns fresh goroutines,
+// so it cannot deadlock, and the Go scheduler multiplexes the result onto
+// the machine's cores. A panic in any kernel thread is re-raised on the
+// calling goroutine.
+func (d *Device) Launch(n int, kernel func(tid int)) {
+	if n <= 0 {
+		return
+	}
+	d.launches.Add(1)
+	d.threads.Add(int64(n))
+	if d.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			kernel(i)
+		}
+		return
+	}
+	g := d.workers
+	if g > n {
+		g = n
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	chunk := (n + g - 1) / g
+	for w := 0; w < g; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				kernel(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(fmt.Sprintf("device: kernel panic: %v", panicVal))
+	}
+}
+
+// LaunchBlocks partitions [0, n) into contiguous per-worker blocks and
+// runs kernel once per block. It is the analogue of CUDA's thread-block
+// level: kernels that need scratch memory can allocate it once per block
+// instead of once per thread, the role shared memory plays in the paper's
+// kernels (§4.4). Blocks execute concurrently; within a block the kernel
+// iterates serially.
+func (d *Device) LaunchBlocks(n int, kernel func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	g := d.workers
+	if g > n {
+		g = n
+	}
+	chunk := (n + g - 1) / g
+	blocks := (n + chunk - 1) / chunk
+	d.Launch(blocks, func(b int) {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		kernel(lo, hi)
+	})
+}
+
+// reduceWarps applies the two-level reduction scheme of the paper's
+// kernels: each 32-wide warp is reduced by a pairwise shuffle-down tree
+// (offsets 16, 8, 4, 2, 1) in parallel, then a single master thread
+// serially combines the per-warp values — "the factor of reduction is so
+// great that it does not add significantly to computation costs" (§5.2.2).
+// combine must be associative and commutative; identity is its unit.
+func (d *Device) reduceWarps(xs []float64, identity float64, combine func(a, b float64) float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return identity
+	}
+	nWarps := (n + WarpSize - 1) / WarpSize
+	warpOut := make([]float64, nWarps)
+	d.Launch(nWarps, func(w int) {
+		var lane [WarpSize]float64
+		lo := w * WarpSize
+		for i := 0; i < WarpSize; i++ {
+			if lo+i < n {
+				lane[i] = xs[lo+i]
+			} else {
+				lane[i] = identity
+			}
+		}
+		// Shuffle-down tree reduction.
+		for offset := WarpSize / 2; offset > 0; offset /= 2 {
+			for i := 0; i < offset; i++ {
+				lane[i] = combine(lane[i], lane[i+offset])
+			}
+		}
+		warpOut[w] = lane[0]
+	})
+	acc := identity
+	for _, v := range warpOut {
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// ReduceSum returns the sum of xs using the warp-tree reduction.
+func (d *Device) ReduceSum(xs []float64) float64 {
+	return d.reduceWarps(xs, 0, func(a, b float64) float64 { return a + b })
+}
+
+// ReduceMax returns the maximum of xs (NegInf for an empty slice), the
+// normalization pass of the posterior likelihood kernel (§5.2.3).
+func (d *Device) ReduceMax(xs []float64) float64 {
+	return d.reduceWarps(xs, logspace.NegInf, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// ReduceLogSum returns log(sum_i exp(xs[i])) by the paper's §5.2.3 scheme:
+// a max reduction provides the normalizing factor that prevents underflow,
+// then the shifted exponentials are summed with the additive reduction.
+func (d *Device) ReduceLogSum(xs []float64) float64 {
+	if len(xs) == 0 {
+		return logspace.NegInf
+	}
+	m := d.ReduceMax(xs)
+	if logspace.IsZero(m) {
+		return logspace.NegInf
+	}
+	shifted := make([]float64, len(xs))
+	d.Launch(len(xs), func(i int) {
+		shifted[i] = math.Exp(xs[i] - m)
+	})
+	return m + math.Log(d.ReduceSum(shifted))
+}

@@ -1,0 +1,232 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"mpcgs/internal/logspace"
+)
+
+func TestLaunchCoversAllThreads(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		d := New(workers)
+		const n = 1000
+		var hits [n]atomic.Int32
+		d.Launch(n, func(tid int) { hits[tid].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: thread %d executed %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestLaunchZeroAndNegative(t *testing.T) {
+	d := New(4)
+	ran := false
+	d.Launch(0, func(int) { ran = true })
+	d.Launch(-5, func(int) { ran = true })
+	if ran {
+		t.Error("kernel ran for empty grid")
+	}
+}
+
+func TestLaunchFewerThreadsThanWorkers(t *testing.T) {
+	d := New(16)
+	var count atomic.Int32
+	d.Launch(3, func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("count = %d, want 3", count.Load())
+	}
+}
+
+func TestNestedLaunch(t *testing.T) {
+	// Dynamic parallelism: each outer thread launches an inner grid.
+	d := New(4)
+	const outer, inner = 10, 20
+	var count atomic.Int32
+	d.Launch(outer, func(int) {
+		d.Launch(inner, func(int) { count.Add(1) })
+	})
+	if count.Load() != outer*inner {
+		t.Errorf("count = %d, want %d", count.Load(), outer*inner)
+	}
+}
+
+func TestLaunchPanicPropagates(t *testing.T) {
+	d := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("kernel panic did not propagate")
+		}
+	}()
+	d.Launch(100, func(tid int) {
+		if tid == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestStats(t *testing.T) {
+	d := New(2)
+	d.Launch(5, func(int) {})
+	d.Launch(7, func(int) {})
+	launches, threads := d.Stats()
+	if launches != 2 || threads != 12 {
+		t.Errorf("Stats = %d launches %d threads, want 2, 12", launches, threads)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Error("default workers < 1")
+	}
+	if Serial().Workers() != 1 {
+		t.Error("Serial device not single-worker")
+	}
+}
+
+func TestReduceSumMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 100, 1024, 4097} {
+		xs := make([]float64, n)
+		var want float64
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			want += xs[i]
+		}
+		for _, workers := range []int{1, 8} {
+			got := New(workers).ReduceSum(xs)
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("n=%d workers=%d: ReduceSum = %v, want %v", n, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceSumDeterministic(t *testing.T) {
+	// The warp-tree reduction must give bit-identical results across runs
+	// and worker counts: tree shape is fixed, not scheduling-dependent.
+	r := rand.New(rand.NewSource(11))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(20)-10))
+	}
+	ref := New(1).ReduceSum(xs)
+	for _, workers := range []int{2, 5, 16} {
+		for rep := 0; rep < 3; rep++ {
+			if got := New(workers).ReduceSum(xs); got != ref {
+				t.Fatalf("workers=%d rep=%d: %v != %v (non-deterministic reduction)", workers, rep, got, ref)
+			}
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	d := New(4)
+	xs := []float64{-5, 3, -1, 2.5}
+	if got := d.ReduceMax(xs); got != 3 {
+		t.Errorf("ReduceMax = %v, want 3", got)
+	}
+	if got := d.ReduceMax(nil); !logspace.IsZero(got) {
+		t.Errorf("ReduceMax(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestReduceLogSumMatchesLogspace(t *testing.T) {
+	d := New(8)
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Mod(v, 600)
+		}
+		got := d.ReduceLogSum(xs)
+		want := logspace.Sum(xs)
+		return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceLogSumUnderflowScale(t *testing.T) {
+	d := New(4)
+	xs := []float64{-1e4, -1e4, -1e4, -1e4}
+	want := -1e4 + math.Log(4)
+	if got := d.ReduceLogSum(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ReduceLogSum = %v, want %v", got, want)
+	}
+}
+
+func TestReduceLogSumAllNegInf(t *testing.T) {
+	d := New(4)
+	xs := []float64{logspace.NegInf, logspace.NegInf}
+	if got := d.ReduceLogSum(xs); !logspace.IsZero(got) {
+		t.Errorf("ReduceLogSum(all -Inf) = %v, want -Inf", got)
+	}
+}
+
+func TestLaunchParallelismActuallyConcurrent(t *testing.T) {
+	// With w workers and n == w long-running threads, all must overlap:
+	// verified by requiring every thread to observe the barrier count
+	// reach w before finishing (would deadlock if serialized; bounded by
+	// test timeout).
+	const w = 4
+	d := New(w)
+	var entered atomic.Int32
+	d.Launch(w, func(int) {
+		entered.Add(1)
+		for entered.Load() < w {
+			// spin until all threads have entered
+		}
+	})
+}
+
+func TestLaunchBlocksCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			d := New(workers)
+			covered := make([]atomic.Int32, n)
+			d.LaunchBlocks(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad block [%d, %d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			for i := range covered {
+				if covered[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, covered[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestLaunchBlocksBlockCount(t *testing.T) {
+	d := New(4)
+	var blocks atomic.Int32
+	d.LaunchBlocks(100, func(lo, hi int) { blocks.Add(1) })
+	if got := blocks.Load(); got != 4 {
+		t.Errorf("got %d blocks, want 4", got)
+	}
+	// Fewer items than workers: one block per item.
+	blocks.Store(0)
+	d.LaunchBlocks(2, func(lo, hi int) {
+		if hi-lo != 1 {
+			t.Errorf("block size %d, want 1", hi-lo)
+		}
+		blocks.Add(1)
+	})
+	if got := blocks.Load(); got != 2 {
+		t.Errorf("got %d blocks, want 2", got)
+	}
+}

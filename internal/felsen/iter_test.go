@@ -1,0 +1,115 @@
+package felsen
+
+import (
+	"math"
+	"testing"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+	"mpcgs/internal/subst"
+)
+
+// TestIterativeMatchesRecursive validates the optimized flat-buffer site
+// kernel against the paper's recursive formulation over many random trees
+// and datasets, including missing data and deep trees that trigger
+// rescaling.
+func TestIterativeMatchesRecursive(t *testing.T) {
+	src := rng.NewMT19937(900)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(src, 20)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "t" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		theta := []float64{0.2, 1.0, 15.0}[trial%3]
+		tr, err := gtree.RandomCoalescent(names, theta, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aln := randomAlignment(src, n, 30)
+		// Punch some missing data into the alignment.
+		for k := 0; k < 20; k++ {
+			aln.Seqs[rng.Intn(src, n)].SetUnknown(rng.Intn(src, 30))
+		}
+		e := mustEval(t, subst.NewJC69(), aln, device.New(4))
+		iter := e.LogLikelihoodSerial(tr)
+		rec := e.LogLikelihoodRecursive(tr)
+		if math.Abs(iter-rec) > 1e-9*math.Max(1, math.Abs(rec)) {
+			t.Fatalf("trial %d (n=%d theta=%v): iterative %v != recursive %v", trial, n, theta, iter, rec)
+		}
+		par := e.LogLikelihood(tr)
+		if math.Abs(par-rec) > 1e-9*math.Max(1, math.Abs(rec)) {
+			t.Fatalf("trial %d: parallel %v != recursive %v", trial, par, rec)
+		}
+	}
+}
+
+// TestIterativeRescalingDeepTree forces the rescaling path in the
+// iterative kernel and cross-checks the recursive one.
+func TestIterativeRescalingDeepTree(t *testing.T) {
+	src := rng.NewMT19937(901)
+	n := 80
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "x" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	tr, err := gtree.RandomCoalescent(names, 30.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln := randomAlignment(src, n, 10)
+	e := mustEval(t, subst.NewJC69(), aln, device.New(8))
+	iter := e.LogLikelihoodSerial(tr)
+	rec := e.LogLikelihoodRecursive(tr)
+	if math.IsInf(iter, 0) || math.IsNaN(iter) {
+		t.Fatalf("iterative logL = %v on deep tree", iter)
+	}
+	if math.Abs(iter-rec) > 1e-9*math.Abs(rec) {
+		t.Fatalf("deep tree: iterative %v != recursive %v", iter, rec)
+	}
+}
+
+func BenchmarkSiteKernelIterative(b *testing.B) {
+	src := rng.NewMT19937(902)
+	n := 12
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "t" + string(rune('a'+i))
+	}
+	tr, err := gtree.RandomCoalescent(names, 1.0, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aln := randomAlignment(src, n, 200)
+	e, err := New(subst.NewJC69(), aln, device.Serial())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.LogLikelihoodSerial(tr)
+	}
+}
+
+func BenchmarkSiteKernelRecursive(b *testing.B) {
+	src := rng.NewMT19937(902)
+	n := 12
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "t" + string(rune('a'+i))
+	}
+	tr, err := gtree.RandomCoalescent(names, 1.0, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aln := randomAlignment(src, n, 200)
+	e, err := New(subst.NewJC69(), aln, device.Serial())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.LogLikelihoodRecursive(tr)
+	}
+}

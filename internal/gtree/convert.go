@@ -1,0 +1,145 @@
+package gtree
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgs/internal/newick"
+)
+
+// FromNewick converts a parsed Newick tree into a genealogy. The input
+// must be strictly binary with named leaves and branch lengths, and
+// ultrametric (all tips equidistant from the root) within a relative
+// tolerance, since the coalescent model assumes contemporaneous sampling.
+// Tips are indexed in left-to-right order.
+func FromNewick(root *newick.Node) (*Tree, error) {
+	leaves := root.Leaves(nil)
+	n := len(leaves)
+	if n < 2 {
+		return nil, fmt.Errorf("gtree: newick tree has %d leaves, need at least 2", n)
+	}
+	if err := checkBinary(root); err != nil {
+		return nil, err
+	}
+
+	t := New(n)
+	depth := map[*newick.Node]float64{}
+	var maxDepth float64
+	var walkDepth func(nd *newick.Node, d float64)
+	walkDepth = func(nd *newick.Node, d float64) {
+		depth[nd] = d
+		if nd.IsLeaf() && d > maxDepth {
+			maxDepth = d
+		}
+		for _, c := range nd.Children {
+			if !c.HasLength {
+				return
+			}
+			walkDepth(c, d+c.Length)
+		}
+	}
+	walkDepth(root, 0)
+
+	// Verify branch lengths exist everywhere (walkDepth stops early
+	// without them, leaving descendants unvisited).
+	var missing bool
+	var checkVisited func(nd *newick.Node)
+	checkVisited = func(nd *newick.Node) {
+		if _, ok := depth[nd]; !ok {
+			missing = true
+		}
+		for _, c := range nd.Children {
+			checkVisited(c)
+		}
+	}
+	checkVisited(root)
+	if missing {
+		return nil, fmt.Errorf("gtree: newick tree is missing branch lengths")
+	}
+
+	tol := 1e-6 * math.Max(maxDepth, 1e-30)
+	for _, l := range leaves {
+		if math.Abs(depth[l]-maxDepth) > tol {
+			return nil, fmt.Errorf("gtree: tree is not ultrametric: leaf %q at depth %v, others at %v",
+				l.Name, depth[l], maxDepth)
+		}
+	}
+
+	tipIdx := 0
+	interiorIdx := n
+	var build func(nd *newick.Node) (int, error)
+	build = func(nd *newick.Node) (int, error) {
+		if nd.IsLeaf() {
+			i := tipIdx
+			tipIdx++
+			t.Nodes[i].Name = nd.Name
+			t.Nodes[i].Age = 0 // snap exactly to the present
+			return i, nil
+		}
+		c0, err := build(nd.Children[0])
+		if err != nil {
+			return 0, err
+		}
+		c1, err := build(nd.Children[1])
+		if err != nil {
+			return 0, err
+		}
+		i := interiorIdx
+		interiorIdx++
+		age := maxDepth - depth[nd]
+		// Guard against rounding collapsing a parent onto a child.
+		for _, c := range []int{c0, c1} {
+			if age <= t.Nodes[c].Age {
+				age = t.Nodes[c].Age + minAgeSep
+			}
+		}
+		t.Nodes[i].Age = age
+		t.Nodes[i].Child = [2]int{c0, c1}
+		t.Nodes[c0].Parent = i
+		t.Nodes[c1].Parent = i
+		return i, nil
+	}
+	r, err := build(root)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = r
+	return t, t.Validate()
+}
+
+func checkBinary(nd *newick.Node) error {
+	if !nd.IsLeaf() && len(nd.Children) != 2 {
+		return fmt.Errorf("gtree: node %q has %d children, need exactly 2", nd.Name, len(nd.Children))
+	}
+	for _, c := range nd.Children {
+		if err := checkBinary(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ToNewick renders the genealogy as a Newick tree with branch lengths
+// equal to age differences. The root carries no branch length.
+func (t *Tree) ToNewick() *newick.Node {
+	var conv func(i int) *newick.Node
+	conv = func(i int) *newick.Node {
+		nd := &newick.Node{Name: t.Nodes[i].Name}
+		if !t.IsTip(i) {
+			nd.Name = ""
+			nd.Children = []*newick.Node{
+				conv(t.Nodes[i].Child[0]),
+				conv(t.Nodes[i].Child[1]),
+			}
+		}
+		if p := t.Nodes[i].Parent; p != Nil {
+			nd.Length = t.Nodes[p].Age - t.Nodes[i].Age
+			nd.HasLength = true
+		}
+		return nd
+	}
+	return conv(t.Root)
+}
+
+// String renders the genealogy in Newick form for debugging.
+func (t *Tree) String() string { return t.ToNewick().String() }

@@ -1,0 +1,294 @@
+// Package gtree implements the genealogical tree substrate of the sampler:
+// a rooted, strictly binary tree whose tips are present-day sequences (age
+// zero) and whose interior nodes are coalescent events at strictly
+// increasing ages into the past (paper §2.4).
+//
+// Nodes live in a fixed index-addressed arena: tips occupy [0, NTips) and
+// interior nodes [NTips, 2*NTips-1). The proposal kernel rewrites the two
+// interior slots of a resimulated neighbourhood in place, so node indices
+// are stable identities across proposals — the property §4.3 needs for
+// every member of a proposal set to reference the same neighbourhood.
+package gtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Nil marks an absent parent or child link.
+const Nil = -1
+
+// Node is one vertex of a genealogy.
+type Node struct {
+	Parent int    // Nil for the root
+	Child  [2]int // Nil,Nil for tips
+	Age    float64
+	Name   string // tip label; empty for interior nodes
+}
+
+// IsTip reports whether the node is a leaf.
+func (n *Node) IsTip() bool { return n.Child[0] == Nil }
+
+// Tree is a genealogy over a fixed set of tips.
+type Tree struct {
+	Nodes []Node
+	Root  int
+	nTips int
+}
+
+// New returns a tree arena for nTips tips with all links unset (Nil).
+// Builders must fill in links and ages; the zero arena does not Validate.
+func New(nTips int) *Tree {
+	if nTips < 2 {
+		panic(fmt.Sprintf("gtree: need at least 2 tips, got %d", nTips))
+	}
+	t := &Tree{Nodes: make([]Node, 2*nTips-1), Root: Nil, nTips: nTips}
+	for i := range t.Nodes {
+		t.Nodes[i] = Node{Parent: Nil, Child: [2]int{Nil, Nil}}
+	}
+	return t
+}
+
+// NTips returns the number of tips.
+func (t *Tree) NTips() int { return t.nTips }
+
+// NNodes returns the total number of nodes, 2*NTips-1.
+func (t *Tree) NNodes() int { return len(t.Nodes) }
+
+// NInterior returns the number of interior (coalescent) nodes, NTips-1.
+func (t *Tree) NInterior() int { return t.nTips - 1 }
+
+// IsTip reports whether index i addresses a tip.
+func (t *Tree) IsTip(i int) bool { return i < t.nTips }
+
+// InteriorIndex maps k in [0, NInterior) to the k-th interior node index.
+func (t *Tree) InteriorIndex(k int) int { return t.nTips + k }
+
+// Sibling returns the other child of i's parent, or Nil if i is the root.
+func (t *Tree) Sibling(i int) int {
+	p := t.Nodes[i].Parent
+	if p == Nil {
+		return Nil
+	}
+	if t.Nodes[p].Child[0] == i {
+		return t.Nodes[p].Child[1]
+	}
+	return t.Nodes[p].Child[0]
+}
+
+// BranchLength returns the length of the branch from i up to its parent.
+// The root has no branch; asking for it panics.
+func (t *Tree) BranchLength(i int) float64 {
+	p := t.Nodes[i].Parent
+	if p == Nil {
+		panic("gtree: BranchLength of root")
+	}
+	return t.Nodes[p].Age - t.Nodes[i].Age
+}
+
+// Clone returns a deep copy sharing no state with t.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{Nodes: make([]Node, len(t.Nodes)), Root: t.Root, nTips: t.nTips}
+	copy(c.Nodes, t.Nodes)
+	return c
+}
+
+// CopyFrom overwrites t's contents with src's without allocating; both
+// trees must have the same tip count.
+func (t *Tree) CopyFrom(src *Tree) {
+	if t.nTips != src.nTips {
+		panic("gtree: CopyFrom tip count mismatch")
+	}
+	copy(t.Nodes, src.Nodes)
+	t.Root = src.Root
+}
+
+// PostOrder calls fn for every node index in post-order (children before
+// parents), starting from the root. The traversal is iterative and
+// deterministic: child 0 before child 1.
+func (t *Tree) PostOrder(fn func(i int)) {
+	type frame struct {
+		node    int
+		visited bool
+	}
+	stack := make([]frame, 0, len(t.Nodes))
+	stack = append(stack, frame{t.Root, false})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.visited || t.Nodes[f.node].IsTip() {
+			fn(f.node)
+			continue
+		}
+		stack = append(stack, frame{f.node, true})
+		stack = append(stack, frame{t.Nodes[f.node].Child[1], false})
+		stack = append(stack, frame{t.Nodes[f.node].Child[0], false})
+	}
+}
+
+// CoalescentAges returns the interior node ages sorted ascending: the
+// times of the n-1 coalescent events, most recent first.
+func (t *Tree) CoalescentAges() []float64 {
+	ages := make([]float64, 0, t.NInterior())
+	for i := t.nTips; i < len(t.Nodes); i++ {
+		ages = append(ages, t.Nodes[i].Age)
+	}
+	sort.Float64s(ages)
+	return ages
+}
+
+// IntervalDurations returns the coalescent interval lengths t_i of paper
+// Eq. 18: element i is the duration during which n-i lineages existed,
+// from the (i)th to the (i+1)th coalescent event (element 0 spans from the
+// present to the first coalescence).
+func (t *Tree) IntervalDurations() []float64 {
+	ages := t.CoalescentAges()
+	out := make([]float64, len(ages))
+	prev := 0.0
+	for i, a := range ages {
+		out[i] = a - prev
+		prev = a
+	}
+	return out
+}
+
+// SumKKT returns the sufficient statistic S = sum_k k(k-1)*t_k over the
+// coalescent intervals, which together with the tip count fully determines
+// the prior ratio P(G|theta)/P(G|theta0) used in the relative likelihood
+// (paper Eq. 25): samples are "reduced to an array of time-intervals"
+// (§5.1.3) and this is the only functional of those intervals needed.
+func (t *Tree) SumKKT() float64 {
+	ages := t.CoalescentAges()
+	s := 0.0
+	prev := 0.0
+	k := t.nTips
+	for _, a := range ages {
+		s += float64(k*(k-1)) * (a - prev)
+		prev = a
+		k--
+	}
+	return s
+}
+
+// LineagesAt returns the number of branches crossing time x, where a
+// branch [age(i), age(parent(i))) is half-open. At x=0 this is the tip
+// count; above the root age it is zero... except the root itself has no
+// branch, so the count above the last coalescence is 1 (the root lineage
+// is conventionally counted up to infinity by Kingman's construction);
+// callers wanting the fixed-branch count should use the paper's
+// convention, which this follows: the root contributes no branch.
+func (t *Tree) LineagesAt(x float64) int {
+	count := 0
+	for i := range t.Nodes {
+		if i == t.Root {
+			continue
+		}
+		p := t.Nodes[i].Parent
+		if t.Nodes[i].Age <= x && x < t.Nodes[p].Age {
+			count++
+		}
+	}
+	return count
+}
+
+// Height returns the age of the root, the time to the most recent common
+// ancestor.
+func (t *Tree) Height() float64 { return t.Nodes[t.Root].Age }
+
+// Validate checks every structural invariant of a genealogy: binary shape,
+// consistent parent/child links, a single root, tips at age zero with
+// names, strictly increasing ages root-ward, and full connectivity.
+func (t *Tree) Validate() error {
+	n := t.nTips
+	if len(t.Nodes) != 2*n-1 {
+		return fmt.Errorf("gtree: %d nodes for %d tips, want %d", len(t.Nodes), n, 2*n-1)
+	}
+	if t.Root < 0 || t.Root >= len(t.Nodes) {
+		return fmt.Errorf("gtree: root index %d out of range", t.Root)
+	}
+	if t.IsTip(t.Root) {
+		return fmt.Errorf("gtree: root %d is a tip", t.Root)
+	}
+	if t.Nodes[t.Root].Parent != Nil {
+		return fmt.Errorf("gtree: root %d has parent %d", t.Root, t.Nodes[t.Root].Parent)
+	}
+	childRefs := make([]int, len(t.Nodes))
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if t.IsTip(i) {
+			if nd.Child[0] != Nil || nd.Child[1] != Nil {
+				return fmt.Errorf("gtree: tip %d has children", i)
+			}
+			if nd.Age != 0 {
+				return fmt.Errorf("gtree: tip %d has age %v, want 0", i, nd.Age)
+			}
+			if nd.Name == "" {
+				return fmt.Errorf("gtree: tip %d has no name", i)
+			}
+		} else {
+			c0, c1 := nd.Child[0], nd.Child[1]
+			if c0 == Nil || c1 == Nil {
+				return fmt.Errorf("gtree: interior node %d missing a child", i)
+			}
+			if c0 == c1 {
+				return fmt.Errorf("gtree: interior node %d has duplicate child %d", i, c0)
+			}
+			for _, c := range nd.Child {
+				if c < 0 || c >= len(t.Nodes) {
+					return fmt.Errorf("gtree: node %d child %d out of range", i, c)
+				}
+				if t.Nodes[c].Parent != i {
+					return fmt.Errorf("gtree: node %d's child %d has parent %d", i, c, t.Nodes[c].Parent)
+				}
+				if !(t.Nodes[c].Age < nd.Age) {
+					return fmt.Errorf("gtree: node %d (age %v) not older than child %d (age %v)",
+						i, nd.Age, c, t.Nodes[c].Age)
+				}
+				childRefs[c]++
+			}
+			if math.IsNaN(nd.Age) || math.IsInf(nd.Age, 0) {
+				return fmt.Errorf("gtree: node %d has non-finite age %v", i, nd.Age)
+			}
+		}
+	}
+	for i, refs := range childRefs {
+		if i == t.Root {
+			if refs != 0 {
+				return fmt.Errorf("gtree: root %d referenced as child %d times", i, refs)
+			}
+			continue
+		}
+		if refs != 1 {
+			return fmt.Errorf("gtree: node %d referenced as child %d times, want 1", i, refs)
+		}
+	}
+	// Connectivity: a tree with 2n-1 nodes, one root and every other node
+	// referenced exactly once as a child is connected iff the walk from
+	// the root reaches every node.
+	seen := 0
+	t.PostOrder(func(int) { seen++ })
+	if seen != len(t.Nodes) {
+		return fmt.Errorf("gtree: only %d of %d nodes reachable from root", seen, len(t.Nodes))
+	}
+	return nil
+}
+
+// TipNames returns the tip labels in index order.
+func (t *Tree) TipNames() []string {
+	names := make([]string, t.nTips)
+	for i := 0; i < t.nTips; i++ {
+		names[i] = t.Nodes[i].Name
+	}
+	return names
+}
+
+// Scale multiplies every node age by f, rescaling all branch lengths.
+func (t *Tree) Scale(f float64) {
+	if f <= 0 {
+		panic("gtree: Scale with non-positive factor")
+	}
+	for i := range t.Nodes {
+		t.Nodes[i].Age *= f
+	}
+}

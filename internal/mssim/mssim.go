@@ -1,0 +1,78 @@
+// Package mssim is the ms substrate (Hudson 2002): a Wright-Fisher /
+// Kingman coalescent genealogy simulator standing in for the external
+// `ms <nsam> <nreps> -T` tool the paper uses to produce true genealogies
+// for its accuracy experiments (§6.1). Trees are generated directly in the
+// mutation-scaled time units of paper Eq. 17 (waiting time with k lineages
+// exponential at rate k(k-1)/θ), so no separate branch rescaling pass is
+// needed.
+package mssim
+
+import (
+	"fmt"
+	"strconv"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// NSam is the number of sampled lineages (tree tips).
+	NSam int
+	// Reps is the number of independent genealogies to generate.
+	Reps int
+	// Theta scales coalescent waiting times (Eq. 17).
+	Theta float64
+	// Seed drives the simulation deterministically.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.NSam < 2 {
+		return fmt.Errorf("mssim: need at least 2 samples, got %d", c.NSam)
+	}
+	if c.Reps < 1 {
+		return fmt.Errorf("mssim: need at least 1 replicate, got %d", c.Reps)
+	}
+	if c.Theta <= 0 {
+		return fmt.Errorf("mssim: theta %v must be positive", c.Theta)
+	}
+	return nil
+}
+
+// TipNames returns the default tip labels "1".."n", matching ms's
+// numbering convention.
+func TipNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = strconv.Itoa(i + 1)
+	}
+	return names
+}
+
+// Simulate generates Reps independent coalescent genealogies.
+func Simulate(cfg Config) ([]*gtree.Tree, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.NewStreamSet(1, cfg.Seed).Stream(0)
+	names := TipNames(cfg.NSam)
+	trees := make([]*gtree.Tree, cfg.Reps)
+	for r := range trees {
+		t, err := gtree.RandomCoalescent(names, cfg.Theta, src)
+		if err != nil {
+			return nil, err
+		}
+		trees[r] = t
+	}
+	return trees, nil
+}
+
+// NewickOutput renders the trees one per line, the `-T` output format.
+func NewickOutput(trees []*gtree.Tree) string {
+	out := ""
+	for _, t := range trees {
+		out += t.String() + "\n"
+	}
+	return out
+}

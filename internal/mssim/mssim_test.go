@@ -1,0 +1,106 @@
+package mssim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/newick"
+)
+
+func TestSimulateShape(t *testing.T) {
+	trees, err := Simulate(Config{NSam: 12, Reps: 3, Theta: 1.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 3 {
+		t.Fatalf("got %d trees, want 3", len(trees))
+	}
+	for i, tr := range trees {
+		if tr.NTips() != 12 {
+			t.Errorf("tree %d has %d tips, want 12", i, tr.NTips())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("tree %d invalid: %v", i, err)
+		}
+	}
+	if trees[0].Height() == trees[1].Height() {
+		t.Error("replicates are identical")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(Config{NSam: 5, Reps: 2, Theta: 2.0, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(Config{NSam: 5, Reps: 2, Theta: 2.0, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		if a[r].String() != b[r].String() {
+			t.Errorf("rep %d differs across same-seed runs", r)
+		}
+	}
+}
+
+func TestSimulateHeightMean(t *testing.T) {
+	// E[height] = theta * (1 - 1/n).
+	theta, n := 1.5, 6
+	trees, err := Simulate(Config{NSam: n, Reps: 20000, Theta: theta, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, tr := range trees {
+		sum += tr.Height()
+	}
+	got := sum / float64(len(trees))
+	want := theta * (1 - 1/float64(n))
+	if math.Abs(got-want) > 0.03*want {
+		t.Errorf("mean height = %v, want %v", got, want)
+	}
+}
+
+func TestTipNames(t *testing.T) {
+	names := TipNames(3)
+	if names[0] != "1" || names[2] != "3" {
+		t.Errorf("TipNames = %v", names)
+	}
+}
+
+func TestNewickOutputParses(t *testing.T) {
+	trees, err := Simulate(Config{NSam: 4, Reps: 2, Theta: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewickOutput(trees)
+	if strings.Count(out, ";") != 2 {
+		t.Fatalf("output %q should contain 2 trees", out)
+	}
+	parsed, err := newick.ParseAll(out)
+	if err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+	for _, p := range parsed {
+		if _, err := gtree.FromNewick(p); err != nil {
+			t.Errorf("round trip into gtree failed: %v", err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NSam: 1, Reps: 1, Theta: 1},
+		{NSam: 3, Reps: 0, Theta: 1},
+		{NSam: 3, Reps: 1, Theta: 0},
+		{NSam: 3, Reps: 1, Theta: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package newick parses and renders phylogenetic trees in the Newick
+// format used to exchange genealogies with the ms and seq-gen style
+// simulators (paper §6.1), e.g. ((1:0.1,2:0.1):0.2,3:0.3);
+package newick
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is one vertex of a parsed Newick tree. Length is the branch length
+// to the parent; HasLength records whether one was present in the input.
+type Node struct {
+	Name      string
+	Length    float64
+	HasLength bool
+	Children  []*Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Leaves appends the node's leaves to dst in left-to-right order and
+// returns the result.
+func (n *Node) Leaves(dst []*Node) []*Node {
+	if n.IsLeaf() {
+		return append(dst, n)
+	}
+	for _, c := range n.Children {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// CountNodes returns the total number of nodes in the subtree.
+func (n *Node) CountNodes() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Depth returns the sum of branch lengths from the node to the deepest
+// leaf below it.
+func (n *Node) Depth() float64 {
+	var max float64
+	for _, c := range n.Children {
+		if d := c.Depth() + c.Length; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the subtree as a Newick expression, with branch lengths
+// for every node that carries one, terminated by a semicolon.
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.render(&sb)
+	sb.WriteByte(';')
+	return sb.String()
+}
+
+func (n *Node) render(sb *strings.Builder) {
+	if !n.IsLeaf() {
+		sb.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			c.render(sb)
+		}
+		sb.WriteByte(')')
+	}
+	sb.WriteString(escapeName(n.Name))
+	if n.HasLength {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatFloat(n.Length, 'g', -1, 64))
+	}
+}
+
+func escapeName(name string) string {
+	if name == "" {
+		return ""
+	}
+	if strings.ContainsAny(name, "():;, \t'[]") {
+		return "'" + strings.ReplaceAll(name, "'", "''") + "'"
+	}
+	return name
+}
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("newick: offset %d: %s", e.Offset, e.Msg)
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+// Parse reads a single Newick tree. Trailing whitespace after the
+// semicolon is permitted; anything else is an error.
+func Parse(in string) (*Node, error) {
+	p := &parser{in: in}
+	p.skipSpace()
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != ';' {
+		return nil, &ParseError{p.pos, "expected ';'"}
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, &ParseError{p.pos, "trailing characters after ';'"}
+	}
+	return root, nil
+}
+
+// ParseAll reads a sequence of Newick trees (one per statement), as
+// produced by multi-replicate simulator output.
+func ParseAll(in string) ([]*Node, error) {
+	var trees []*Node
+	rest := in
+	offset := 0
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if rest == "" {
+			break
+		}
+		idx := strings.IndexByte(rest, ';')
+		if idx < 0 {
+			return nil, &ParseError{offset, "unterminated tree: missing ';'"}
+		}
+		tree, err := Parse(rest[:idx+1])
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, tree)
+		offset += idx + 1
+		rest = rest[idx+1:]
+	}
+	return trees, nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) parseNode() (*Node, error) {
+	p.skipSpace()
+	n := &Node{}
+	if p.pos < len(p.in) && p.in[p.pos] == '(' {
+		p.pos++
+		for {
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+			p.skipSpace()
+			if p.pos >= len(p.in) {
+				return nil, &ParseError{p.pos, "unterminated '('"}
+			}
+			if p.in[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.in[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, &ParseError{p.pos, fmt.Sprintf("unexpected %q in children list", p.in[p.pos])}
+		}
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	n.Name = name
+	if n.IsLeaf() && n.Name == "" {
+		return nil, &ParseError{p.pos, "leaf without a name"}
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == ':' {
+		p.pos++
+		length, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		n.Length = length
+		n.HasLength = true
+	}
+	return n, nil
+}
+
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '\'' {
+		p.pos++
+		var sb strings.Builder
+		for {
+			if p.pos >= len(p.in) {
+				return "", &ParseError{p.pos, "unterminated quoted name"}
+			}
+			c := p.in[p.pos]
+			if c == '\'' {
+				if p.pos+1 < len(p.in) && p.in[p.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				return sb.String(), nil
+			}
+			sb.WriteByte(c)
+			p.pos++
+		}
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ':' || c == ',' || c == ')' || c == '(' || c == ';' ||
+			c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			break
+		}
+		p.pos++
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, &ParseError{p.pos, "expected branch length after ':'"}
+	}
+	v, err := strconv.ParseFloat(p.in[start:p.pos], 64)
+	if err != nil {
+		return 0, &ParseError{start, fmt.Sprintf("bad branch length %q", p.in[start:p.pos])}
+	}
+	if v < 0 {
+		return 0, &ParseError{start, fmt.Sprintf("negative branch length %v", v)}
+	}
+	return v, nil
+}

@@ -1,0 +1,249 @@
+package newick
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, in string) *Node {
+	t.Helper()
+	n, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in, err)
+	}
+	return n
+}
+
+func TestParseSimple(t *testing.T) {
+	n := mustParse(t, "((1:0.1,2:0.1):0.2,3:0.3);")
+	if n.IsLeaf() || len(n.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(n.Children))
+	}
+	inner := n.Children[0]
+	if len(inner.Children) != 2 || inner.Length != 0.2 {
+		t.Errorf("inner node wrong: %+v", inner)
+	}
+	leaves := n.Leaves(nil)
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d, want 3", len(leaves))
+	}
+	wantNames := []string{"1", "2", "3"}
+	for i, l := range leaves {
+		if l.Name != wantNames[i] {
+			t.Errorf("leaf %d name = %q, want %q", i, l.Name, wantNames[i])
+		}
+	}
+	if leaves[2].Length != 0.3 {
+		t.Errorf("leaf 3 length = %v, want 0.3", leaves[2].Length)
+	}
+}
+
+func TestParseNoLengths(t *testing.T) {
+	n := mustParse(t, "((a,b),c);")
+	if n.HasLength {
+		t.Error("root should have no length")
+	}
+	if n.CountNodes() != 5 {
+		t.Errorf("CountNodes = %d, want 5", n.CountNodes())
+	}
+}
+
+func TestParseInternalLabels(t *testing.T) {
+	n := mustParse(t, "((a:1,b:1)ab:2,c:3)root;")
+	if n.Name != "root" {
+		t.Errorf("root name = %q", n.Name)
+	}
+	if n.Children[0].Name != "ab" {
+		t.Errorf("internal name = %q, want ab", n.Children[0].Name)
+	}
+}
+
+func TestParseQuotedNames(t *testing.T) {
+	n := mustParse(t, "('Homo sapiens':1,'it''s':2);")
+	if n.Children[0].Name != "Homo sapiens" {
+		t.Errorf("name = %q", n.Children[0].Name)
+	}
+	if n.Children[1].Name != "it's" {
+		t.Errorf("name = %q", n.Children[1].Name)
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	n := mustParse(t, " ( a : 1 ,\n b : 2 ) ;\n")
+	if len(n.Children) != 2 || n.Children[0].Name != "a" {
+		t.Errorf("parsed wrong: %+v", n)
+	}
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	n := mustParse(t, "(a:1e-3,b:2.5E2);")
+	if n.Children[0].Length != 1e-3 || n.Children[1].Length != 250 {
+		t.Errorf("lengths = %v %v", n.Children[0].Length, n.Children[1].Length)
+	}
+}
+
+func TestParseMultifurcation(t *testing.T) {
+	n := mustParse(t, "(a:1,b:1,c:1,d:1);")
+	if len(n.Children) != 4 {
+		t.Errorf("children = %d, want 4", len(n.Children))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(a,b)",         // missing semicolon
+		"(a,b);x",       // trailing garbage
+		"(a,;",          // dangling comma
+		"(a:1,b:-2);",   // negative branch length
+		"(a:1,b:);",     // missing number
+		"((a,b);",       // unbalanced
+		"(a,b));",       // unbalanced the other way
+		"('abc:1,d:2);", // unterminated quote
+		"(,a);",         // unnamed leaf
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseErrorOffset(t *testing.T) {
+	_, err := Parse("(a:1,b:bad);")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Offset <= 0 {
+		t.Errorf("offset = %d, want > 0", pe.Offset)
+	}
+	if !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("message %q lacks offset", pe.Error())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []string{
+		"((1:0.1,2:0.1):0.2,3:0.3);",
+		"((a:1,b:1)ab:2,c:3)root;",
+		"(a:1,b:1,c:1,d:1);",
+	}
+	for _, in := range cases {
+		n := mustParse(t, in)
+		out := n.String()
+		m := mustParse(t, out)
+		if !equalTrees(n, m) {
+			t.Errorf("round trip changed tree: %q -> %q", in, out)
+		}
+	}
+}
+
+func TestRoundTripQuotedName(t *testing.T) {
+	n := mustParse(t, "('a b':1,c:2);")
+	m := mustParse(t, n.String())
+	if m.Children[0].Name != "a b" {
+		t.Errorf("round-tripped name = %q", m.Children[0].Name)
+	}
+}
+
+func equalTrees(a, b *Node) bool {
+	if a.Name != b.Name || a.HasLength != b.HasLength {
+		return false
+	}
+	if a.HasLength && math.Abs(a.Length-b.Length) > 1e-12 {
+		return false
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !equalTrees(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomTree builds a random binary tree with n leaves for round-trip
+// property testing.
+func randomTree(r *rand.Rand, n int, next *int) *Node {
+	if n == 1 {
+		*next++
+		return &Node{Name: "t" + itoa(*next), Length: r.Float64(), HasLength: true}
+	}
+	k := 1 + r.Intn(n-1)
+	return &Node{
+		Length:    r.Float64(),
+		HasLength: true,
+		Children:  []*Node{randomTree(r, k, next), randomTree(r, n-k, next)},
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestRoundTripRandomTrees(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(sizeRaw)%20
+		next := 0
+		tree := randomTree(r, n, &next)
+		parsed, err := Parse(tree.String())
+		if err != nil {
+			return false
+		}
+		return equalTrees(tree, parsed)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	in := "(a:1,b:1);\n(c:2,d:2);\n"
+	trees, err := ParseAll(in)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	if trees[1].Children[0].Name != "c" {
+		t.Errorf("second tree wrong: %+v", trees[1])
+	}
+}
+
+func TestParseAllEmpty(t *testing.T) {
+	trees, err := ParseAll("  \n ")
+	if err != nil || len(trees) != 0 {
+		t.Errorf("ParseAll(blank) = %v, %v", trees, err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	n := mustParse(t, "((a:1,b:2):3,c:4);")
+	if d := n.Depth(); d != 5 {
+		t.Errorf("Depth = %v, want 5", d)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	n := mustParse(t, "((a:1,b:2):3,c:4);")
+	if c := n.CountNodes(); c != 5 {
+		t.Errorf("CountNodes = %d, want 5", c)
+	}
+}

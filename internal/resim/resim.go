@@ -1,0 +1,380 @@
+// Package resim implements the proposal kernel of the sampler: the
+// LAMARC-style resimulation of the neighbourhood around a target interior
+// node (paper §4.2-4.3).
+//
+// Deleting the target node and its parent leaves three dangling child
+// lineages (the target's two children and its sibling) which must be
+// re-joined by two new coalescent events before reaching the ancestor (the
+// deleted parent's parent) — or, when the deleted parent was the root, by
+// two events the older of which becomes the new root. The two events are
+// drawn from the coalescent prior conditioned on everything outside the
+// neighbourhood:
+//
+//   - The region is cut into feasible intervals at every age where the
+//     number of inactive (fixed) lineages k_in or active lineages changes
+//     (§4.2, Fig. 8).
+//   - Within an interval with a active lineages, active-active merges occur
+//     at rate μ_a = a(a-1)/θ while the conditional prior's cross terms with
+//     the k_in inactive lineages contribute a "killing" rate 2·a·k_in/θ
+//     that the proposal conditions against; the interval transition
+//     probabilities S_{a,b}(t) of the resulting killed death process have
+//     closed forms.
+//   - Completion probabilities P_i(n) (here G) are computed backward from
+//     the ancestor constraint (exactly one active lineage at the top), and
+//     the forward walk samples the number of events per interval weighted
+//     by S·G, then places them by truncated-exponential inversion —
+//     the backward-recursion/forward-walk scheme of §4.2.
+//
+// Because the draw is exactly proportional to the conditional prior
+// restricted to the neighbourhood, the Generalized Metropolis-Hastings
+// weights reduce to the data likelihoods alone (paper Eq. 29-31), and the
+// serial Metropolis-Hastings acceptance ratio reduces to the data
+// likelihood ratio (Eq. 28).
+package resim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+)
+
+// maxActive is the largest possible number of active lineages: the three
+// dangling children minus completed merges.
+const maxActive = 3
+
+// Targets returns the node indices eligible as resimulation targets: every
+// non-root interior node. The count is always NTips-2, independent of
+// topology, which keeps the auxiliary variable φ's distribution uniform
+// over a set of fixed size (§4.3).
+func Targets(t *gtree.Tree) []int {
+	out := make([]int, 0, t.NInterior()-1)
+	for k := 0; k < t.NInterior(); k++ {
+		i := t.InteriorIndex(k)
+		if i != t.Root {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PickTarget samples the auxiliary variable φ: a uniform choice among the
+// non-root interior nodes. It panics for trees with fewer than 3 tips,
+// which have no resimulatable neighbourhood.
+func PickTarget(t *gtree.Tree, src rng.Source) int {
+	targets := Targets(t)
+	if len(targets) == 0 {
+		panic("resim: tree has no resimulatable target (need >= 3 tips)")
+	}
+	return targets[rng.Intn(src, len(targets))]
+}
+
+// Resimulate redraws the neighbourhood around target from the conditional
+// coalescent prior with parameter theta, modifying t in place. The target
+// must be a non-root interior node. The two replacement coalescent events
+// reuse the node slots of the target and its parent (younger event in the
+// target's slot), so node indices remain stable identities across
+// proposals.
+func Resimulate(t *gtree.Tree, target int, theta float64, src rng.Source) error {
+	if theta <= 0 {
+		return fmt.Errorf("resim: theta %v must be positive", theta)
+	}
+	if target < 0 || target >= t.NNodes() {
+		return fmt.Errorf("resim: target %d out of range", target)
+	}
+	if t.IsTip(target) {
+		return fmt.Errorf("resim: target %d is a tip", target)
+	}
+	if target == t.Root {
+		return fmt.Errorf("resim: target %d is the root", target)
+	}
+
+	parent := t.Nodes[target].Parent
+	ancestor := t.Nodes[parent].Parent // gtree.Nil when parent is the root
+	children := [3]int{
+		t.Nodes[target].Child[0],
+		t.Nodes[target].Child[1],
+		t.Sibling(target),
+	}
+	region, err := buildRegion(t, target, parent, ancestor, children, theta)
+	if err != nil {
+		return err
+	}
+	return region.sample(t, src)
+}
+
+// region is the fully analyzed resimulation problem: interval structure,
+// killing rates, joins and completion probabilities.
+type region struct {
+	theta    float64
+	target   int
+	parent   int
+	ancestor int // gtree.Nil for the root-adjacent case
+
+	bounds []float64 // m+1 boundary ages, bounds[0] = youngest child age
+	kin    []int     // m per-interval inactive lineage counts
+	joins  [][]int   // m+1 lists: child node indices joining at each boundary
+	g      [][4]float64
+}
+
+func (r *region) rootCase() bool { return r.ancestor == gtree.Nil }
+
+func buildRegion(t *gtree.Tree, target, parent, ancestor int, children [3]int, theta float64) (*region, error) {
+	r := &region{theta: theta, target: target, parent: parent, ancestor: ancestor}
+
+	isChild := func(i int) bool {
+		return i == children[0] || i == children[1] || i == children[2]
+	}
+	// Region bottom: the youngest child's age; top: the ancestor's age,
+	// or unbounded for the root-adjacent case.
+	bottom := math.Inf(1)
+	for _, c := range children {
+		if a := t.Nodes[c].Age; a < bottom {
+			bottom = a
+		}
+	}
+	top := math.Inf(1)
+	if !r.rootCase() {
+		top = t.Nodes[ancestor].Age
+		if top <= bottom {
+			return nil, fmt.Errorf("resim: ancestor age %v not above region bottom %v", top, bottom)
+		}
+	}
+
+	// Critical ages: every fixed node age strictly inside (bottom, top),
+	// plus the joining children's ages. Ages equal to top fold into top.
+	critical := map[float64]bool{}
+	for i := range t.Nodes {
+		if i == target || i == parent {
+			continue
+		}
+		a := t.Nodes[i].Age
+		if a > bottom && a < top {
+			critical[a] = true
+		}
+	}
+	r.bounds = append(r.bounds, bottom)
+	for a := range critical {
+		r.bounds = append(r.bounds, a)
+	}
+	sort.Float64s(r.bounds)
+	if !r.rootCase() {
+		r.bounds = append(r.bounds, top)
+	}
+
+	// Joins: which children enter the active set at each boundary.
+	r.joins = make([][]int, len(r.bounds))
+	for _, c := range children {
+		age := t.Nodes[c].Age
+		j := sort.SearchFloat64s(r.bounds, age)
+		if j >= len(r.bounds) || r.bounds[j] != age {
+			return nil, fmt.Errorf("resim: internal error: child age %v is not a boundary", age)
+		}
+		r.joins[j] = append(r.joins[j], c)
+	}
+	if len(r.joins[0]) == 0 {
+		return nil, fmt.Errorf("resim: internal error: no child at region bottom")
+	}
+
+	// Inactive lineage count per interval: fixed branches crossing the
+	// interval midpoint. A fixed branch belongs to a node that is neither
+	// removed ({target, parent}) nor an active child, whose parent is
+	// also not removed.
+	m := len(r.bounds) - 1
+	r.kin = make([]int, m)
+	for j := 0; j < m; j++ {
+		mid := (r.bounds[j] + r.bounds[j+1]) / 2
+		count := 0
+		for i := range t.Nodes {
+			if i == target || i == parent || isChild(i) {
+				continue
+			}
+			p := t.Nodes[i].Parent
+			if p == gtree.Nil || p == target || p == parent {
+				continue
+			}
+			if t.Nodes[i].Age <= mid && mid < t.Nodes[p].Age {
+				count++
+			}
+		}
+		r.kin[j] = count
+	}
+
+	r.computeCompletion()
+	return r, nil
+}
+
+// computeCompletion fills g[j][a], the probability of completing the walk
+// successfully when entering interval j with a active lineages (after the
+// joins at boundary j): the backward recursion over feasible intervals of
+// §4.2, with per-level normalization to guard against underflow on long
+// regions (only ratios matter for the forward sampling).
+func (r *region) computeCompletion() {
+	m := len(r.bounds) - 1
+	r.g = make([][4]float64, m+1)
+	if r.rootCase() {
+		// Above the last boundary there are no inactive lineages and no
+		// killing: the pure death process reaches one lineage with
+		// certainty.
+		for a := 1; a <= maxActive; a++ {
+			r.g[m][a] = 1
+		}
+	} else {
+		// The single remaining lineage attaches to the ancestor.
+		r.g[m][1] = 1
+	}
+	for j := m - 1; j >= 0; j-- {
+		L := r.bounds[j+1] - r.bounds[j]
+		tr := newTransitions(r.kin[j], r.theta)
+		nj := len(r.joins[j+1])
+		maxv := 0.0
+		for a := 1; a <= maxActive; a++ {
+			sum := 0.0
+			for b := 1; b <= a; b++ {
+				next := b + nj
+				if next > maxActive {
+					continue
+				}
+				sum += tr.prob(a, b, L) * r.g[j+1][next]
+			}
+			r.g[j][a] = sum
+			if sum > maxv {
+				maxv = sum
+			}
+		}
+		if maxv > 0 && maxv < 1e-280 {
+			inv := 1 / maxv
+			for a := 1; a <= maxActive; a++ {
+				r.g[j][a] *= inv
+			}
+		}
+	}
+}
+
+// sample runs the conditioned forward walk and performs the tree surgery.
+func (r *region) sample(t *gtree.Tree, src rng.Source) error {
+	m := len(r.bounds) - 1
+	active := make([]int, 0, maxActive)
+	active = append(active, r.joins[0]...)
+	if len(active) > maxActive {
+		return fmt.Errorf("resim: internal error: %d children at region bottom", len(active))
+	}
+
+	mergeSlots := [2]int{r.target, r.parent}
+	nextSlot := 0
+	doMerge := func(age float64) error {
+		if nextSlot >= 2 {
+			return fmt.Errorf("resim: internal error: more than two merge events")
+		}
+		i, j := rng.UniformPair(src, len(active))
+		slot := mergeSlots[nextSlot]
+		nextSlot++
+		a, b := active[i], active[j]
+		t.Nodes[slot].Child = [2]int{a, b}
+		t.Nodes[slot].Age = age
+		t.Nodes[a].Parent = slot
+		t.Nodes[b].Parent = slot
+		active[i] = slot
+		active = append(active[:j], active[j+1:]...)
+		return nil
+	}
+
+	for j := 0; j < m; j++ {
+		L := r.bounds[j+1] - r.bounds[j]
+		tr := newTransitions(r.kin[j], r.theta)
+		a := len(active)
+		nj := len(r.joins[j+1])
+
+		// Choose the exit state weighted by transition x completion.
+		var weights [maxActive + 1]float64
+		total := 0.0
+		for b := 1; b <= a; b++ {
+			next := b + nj
+			if next > maxActive {
+				continue
+			}
+			w := tr.prob(a, b, L) * r.g[j+1][next]
+			weights[b] = w
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("resim: no feasible continuation in interval %d (theta %v too extreme for region)", j, r.theta)
+		}
+		b := -1
+		x := src.Float64() * total
+		acc := 0.0
+		for cand := 1; cand <= a; cand++ {
+			acc += weights[cand]
+			if weights[cand] > 0 && x < acc {
+				b = cand
+				break
+			}
+		}
+		if b < 0 {
+			// Floating-point slack pushed x past the last bucket: take the
+			// largest feasible exit state.
+			for cand := a; cand >= 1; cand-- {
+				if weights[cand] > 0 {
+					b = cand
+					break
+				}
+			}
+		}
+
+		// Place the events inside the interval and apply them in age order.
+		switch a - b {
+		case 0:
+		case 1:
+			s := tr.placeOne(a, L, src)
+			if err := doMerge(r.bounds[j] + s); err != nil {
+				return err
+			}
+		case 2:
+			s1, s2 := tr.placeTwo(L, src)
+			if err := doMerge(r.bounds[j] + s1); err != nil {
+				return err
+			}
+			if err := doMerge(r.bounds[j] + s2); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("resim: internal error: %d events in one interval", a-b)
+		}
+		active = append(active, r.joins[j+1]...)
+	}
+
+	if r.rootCase() {
+		// Unbounded tail above the last boundary: no inactive lineages,
+		// plain exponential waits between the remaining merges.
+		age := r.bounds[m]
+		for len(active) > 1 {
+			a := len(active)
+			rate := float64(a*(a-1)) / r.theta
+			age += rng.Exp(src, rate)
+			if err := doMerge(age); err != nil {
+				return err
+			}
+		}
+	}
+	if len(active) != 1 {
+		return fmt.Errorf("resim: internal error: %d active lineages at region top", len(active))
+	}
+	if nextSlot != 2 {
+		return fmt.Errorf("resim: internal error: %d merges performed, want 2", nextSlot)
+	}
+	// The final merge landed in the parent slot, which the ancestor (or
+	// the root marker) already references; only the upward link needs
+	// restating.
+	if active[0] != r.parent {
+		return fmt.Errorf("resim: internal error: final lineage %d is not the parent slot %d", active[0], r.parent)
+	}
+	if r.rootCase() {
+		t.Nodes[r.parent].Parent = gtree.Nil
+		t.Root = r.parent
+	} else {
+		t.Nodes[r.parent].Parent = r.ancestor
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package seqgen is the seq-gen substrate (Rambaut & Grass 1997): it
+// simulates nucleotide sequences along a genealogy under a substitution
+// model, standing in for the external `seq-gen -mF84 -l <len> -s <scale>`
+// tool the paper uses to produce data with a known true θ (§6.1). The
+// default F84 model reproduces the paper's deliberate mismatch with the
+// sampler's Eq. 20 (F81) inference model.
+package seqgen
+
+import (
+	"fmt"
+
+	"mpcgs/internal/bitseq"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/phylip"
+	"mpcgs/internal/rng"
+	"mpcgs/internal/subst"
+)
+
+// Config parameterizes sequence simulation.
+type Config struct {
+	// Length is the number of base pairs per sequence.
+	Length int
+	// Scale multiplies every branch length before simulation (seq-gen's
+	// -s flag). Zero selects 1.
+	Scale float64
+	// Model evolves the sequences; nil selects F84 with uniform base
+	// frequencies and kappa 2 (a transition/transversion bias typical of
+	// real data).
+	Model subst.Model
+	// Seed drives the simulation deterministically.
+	Seed uint64
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Length <= 0 {
+		return out, fmt.Errorf("seqgen: length %d must be positive", out.Length)
+	}
+	if out.Scale == 0 {
+		out.Scale = 1
+	}
+	if out.Scale < 0 {
+		return out, fmt.Errorf("seqgen: scale %v must be positive", out.Scale)
+	}
+	if out.Model == nil {
+		m, err := subst.NewF84(subst.Uniform, 2.0, true)
+		if err != nil {
+			return out, err
+		}
+		out.Model = m
+	}
+	return out, nil
+}
+
+// Simulate evolves an alignment along the genealogy: the root sequence is
+// drawn from the model's stationary distribution and each branch mutates
+// its parent's sequence by the model's transition probabilities for the
+// branch length, site-independently (the assumption of paper Eq. 22).
+func Simulate(t *gtree.Tree, cfg Config) (*phylip.Alignment, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.NewStreamSet(1, c.Seed).Stream(0)
+	freqs := c.Model.Freqs()
+	L := c.Length
+
+	// Working sequences for every node.
+	seqs := make([][]bitseq.Base, t.NNodes())
+	root := make([]bitseq.Base, L)
+	for i := range root {
+		root[i] = bitseq.Base(rng.Categorical(src, freqs[:]))
+	}
+	seqs[t.Root] = root
+
+	// Pre-order descent: parents before children. A post-order traversal
+	// visited in reverse gives exactly that.
+	order := make([]int, 0, t.NNodes())
+	t.PostOrder(func(i int) { order = append(order, i) })
+	var trans subst.Matrix
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if i == t.Root {
+			continue
+		}
+		parentSeq := seqs[t.Nodes[i].Parent]
+		c.Model.TransitionInto(t.BranchLength(i)*c.Scale, &trans)
+		seq := make([]bitseq.Base, L)
+		for s := 0; s < L; s++ {
+			row := trans[parentSeq[s]]
+			seq[s] = bitseq.Base(rng.Categorical(src, row[:]))
+		}
+		seqs[i] = seq
+	}
+
+	aln := &phylip.Alignment{
+		Names: t.TipNames(),
+		Seqs:  make([]*bitseq.Seq, t.NTips()),
+	}
+	for i := 0; i < t.NTips(); i++ {
+		packed := bitseq.New(L)
+		for s := 0; s < L; s++ {
+			packed.Set(s, seqs[i][s])
+		}
+		aln.Seqs[i] = packed
+	}
+	return aln, aln.Validate()
+}
+
+// SimulateData is the full ms + seq-gen pipeline of the paper's accuracy
+// experiment (§6.1): draw one genealogy from the coalescent at the true
+// theta, then evolve sequences along it. It returns both so tests can
+// inspect the generating tree.
+func SimulateData(nSeq, length int, theta float64, seed uint64) (*phylip.Alignment, *gtree.Tree, error) {
+	src := rng.NewStreamSet(1, seed^0xabcdef).Stream(0)
+	names := make([]string, nSeq)
+	for i := range names {
+		names[i] = fmt.Sprintf("seq%03d", i+1)
+	}
+	tree, err := gtree.RandomCoalescent(names, theta, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	aln, err := Simulate(tree, Config{Length: length, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return aln, tree, nil
+}

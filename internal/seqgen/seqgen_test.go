@@ -1,0 +1,172 @@
+package seqgen
+
+import (
+	"math"
+	"testing"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+	"mpcgs/internal/subst"
+)
+
+func balancedTree(t *testing.T, h float64) *gtree.Tree {
+	t.Helper()
+	tr := gtree.New(2)
+	tr.Nodes[0].Name = "a"
+	tr.Nodes[1].Name = "b"
+	tr.Nodes[2].Age = h
+	tr.Nodes[2].Child = [2]int{0, 1}
+	tr.Nodes[0].Parent = 2
+	tr.Nodes[1].Parent = 2
+	tr.Root = 2
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSimulateShape(t *testing.T) {
+	src := rng.NewMT19937(1)
+	tr, err := gtree.RandomCoalescent([]string{"x", "y", "z"}, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tr, Config{Length: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.NSeq() != 3 || aln.SeqLen() != 50 {
+		t.Fatalf("alignment %dx%d, want 3x50", aln.NSeq(), aln.SeqLen())
+	}
+	if aln.Names[0] != "x" || aln.Names[2] != "z" {
+		t.Errorf("names = %v", aln.Names)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	src := rng.NewMT19937(3)
+	tr, err := gtree.RandomCoalescent([]string{"x", "y", "z", "w"}, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Simulate(tr, Config{Length: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tr, Config{Length: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Seqs {
+		if a.Seqs[i].String() != b.Seqs[i].String() {
+			t.Errorf("sequence %d differs across same-seed runs", i)
+		}
+	}
+	c, err := Simulate(tr, Config{Length: 100, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seqs[0].String() == c.Seqs[0].String() {
+		t.Error("different seeds gave identical data")
+	}
+}
+
+func TestTinyBranchesNearIdentical(t *testing.T) {
+	tr := balancedTree(t, 1.0)
+	aln, err := Simulate(tr, Config{Length: 500, Scale: 1e-6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := aln.Seqs[0].Diff(aln.Seqs[1]); d > 2 {
+		t.Errorf("near-zero branches produced %d differences", d)
+	}
+}
+
+func TestDivergenceMatchesJC69Expectation(t *testing.T) {
+	// Two tips separated by total path 2h under JC69: expected differing
+	// fraction p = 3/4 (1 - e^{-4/3 * 2h}).
+	h := 0.3
+	tr := balancedTree(t, h)
+	aln, err := Simulate(tr, Config{Length: 200000, Model: subst.NewJC69(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(aln.Seqs[0].Diff(aln.Seqs[1])) / float64(aln.SeqLen())
+	want := 0.75 * (1 - math.Exp(-4.0/3.0*2*h))
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("divergence = %v, want %v", got, want)
+	}
+}
+
+func TestBaseCompositionMatchesStationary(t *testing.T) {
+	freqs := [4]float64{0.1, 0.2, 0.3, 0.4}
+	model, err := subst.NewF84(freqs, 2.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := balancedTree(t, 0.5)
+	aln, err := Simulate(tr, Config{Length: 100000, Model: model, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [4]int
+	total := 0
+	for _, s := range aln.Seqs {
+		total += s.Counts(&counts)
+	}
+	for b, f := range freqs {
+		got := float64(counts[b]) / float64(total)
+		if math.Abs(got-f) > 0.01 {
+			t.Errorf("base %d frequency = %v, want %v", b, got, f)
+		}
+	}
+}
+
+func TestScaleIncreasesDivergence(t *testing.T) {
+	tr := balancedTree(t, 0.2)
+	small, err := Simulate(tr, Config{Length: 5000, Scale: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Simulate(tr, Config{Length: 5000, Scale: 3.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSmall := small.Seqs[0].Diff(small.Seqs[1])
+	dBig := big.Seqs[0].Diff(big.Seqs[1])
+	if dBig <= dSmall {
+		t.Errorf("scale 3.0 divergence %d not above scale 0.1 divergence %d", dBig, dSmall)
+	}
+}
+
+func TestSimulateDataPipeline(t *testing.T) {
+	aln, tree, err := SimulateData(12, 200, 1.0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.NSeq() != 12 || aln.SeqLen() != 200 {
+		t.Fatalf("alignment %dx%d, want 12x200", aln.NSeq(), aln.SeqLen())
+	}
+	if tree.NTips() != 12 {
+		t.Fatalf("tree has %d tips", tree.NTips())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Tip order must match alignment order for downstream evaluators.
+	for i, n := range tree.TipNames() {
+		if aln.Names[i] != n {
+			t.Errorf("name %d: tree %q vs alignment %q", i, n, aln.Names[i])
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	tr := balancedTree(t, 0.5)
+	if _, err := Simulate(tr, Config{Length: 0}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := Simulate(tr, Config{Length: 10, Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}

@@ -80,6 +80,7 @@ func benchRun(b *testing.B, s core.Sampler, aln *phylip.Alignment, burnin, sampl
 func benchSpeedup(b *testing.B, nSeq, seqLen, burnin, samples int) {
 	aln := benchAlignment(b, nSeq, seqLen, 1.0)
 	dev := device.New(0)
+	defer dev.Close()
 	serial := benchEvaluator(b, aln, device.Serial())
 	parallel := benchEvaluator(b, aln, dev)
 	var speedup float64

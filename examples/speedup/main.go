@@ -43,13 +43,21 @@ func measure(nSeq, seqLen, burnin, samples int) {
 	}
 	base := run(core.NewMH(evalSerial))
 	fmt.Printf("workload %d x %d bp: serial MH baseline %v\n", nSeq, seqLen, base.Round(time.Millisecond))
-	for p := 2; p <= runtime.GOMAXPROCS(0); p *= 2 {
+	// Device workers are virtual GPU threads, not OS cores, so the sweep
+	// covers the paper's ladder regardless of the host's core count (a
+	// single-core host still benefits from the proposal-set machinery).
+	maxP := 2 * runtime.GOMAXPROCS(0)
+	if maxP < 8 {
+		maxP = 8
+	}
+	for p := 2; p <= maxP; p *= 2 {
 		dev := device.New(p)
 		eval, err := felsen.New(model, aln, dev)
 		if err != nil {
 			log.Fatal(err)
 		}
 		t := run(core.NewGMH(eval, dev, p))
+		dev.Close()
 		fmt.Printf("  gmh workers=%-3d %-12v speedup %.2fx\n",
 			p, t.Round(time.Millisecond), base.Seconds()/t.Seconds())
 	}

@@ -1,0 +1,3 @@
+module mpcgs
+
+go 1.24

@@ -24,6 +24,13 @@ import (
 // likelihoods P(D|G̃_i) (Eq. 29-31). The last draw seeds the next proposal
 // round. Burn-in uses the same parallel machinery: there is no serial
 // burn-in component (§4.1).
+//
+// The round loop is allocation-free: proposal trees, weight/statistic
+// arrays, age buffers and the kernel closure are set up once and reused
+// every round, and proposal likelihoods are computed incrementally against
+// a felsen.DeltaCache of the current state's conditionals — the in-device-
+// memory data reuse that lets the proposal kernel's work stay proportional
+// to the resimulated neighbourhood rather than the whole genealogy.
 type GMH struct {
 	eval *felsen.Evaluator
 	dev  *device.Device
@@ -35,7 +42,9 @@ type GMH struct {
 	// NestedSiteParallelism additionally parallelizes each proposal's
 	// likelihood over sites (the paper's dynamic parallelism, §4.4). With
 	// N at or above the worker count the proposal-level parallelism
-	// already saturates the device, so this defaults to off.
+	// already saturates the device, so this defaults to off; it also
+	// forgoes the delta-evaluation cache, since the site kernel evaluates
+	// from scratch.
 	NestedSiteParallelism bool
 }
 
@@ -72,19 +81,32 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 	streams := rng.NewStreamSet(n, cfg.Seed^0x9e3779b97f4a7c15)
 
 	// Proposal set: slot 0 holds the current state, slots 1..N the new
-	// candidates. All slots are preallocated once (paper §5.1.3).
+	// candidates. All slots — trees, weights, statistics and age buffers —
+	// are preallocated once (paper §5.1.3) and rewritten in place each
+	// round.
 	set := make([]*gtree.Tree, n+1)
 	for i := range set {
 		set[i] = init.Clone()
 	}
 	logw := make([]float64, n+1)
 	stats := make([]float64, n+1)
-	ages := make([][]float64, n+1)
 	errs := make([]error, n)
+	nAges := init.NInterior()
+	ages := make([][]float64, n+1)
+	agesStore := make([]float64, (n+1)*nAges)
+	for i := range ages {
+		ages[i] = agesStore[i*nAges : i*nAges : (i+1)*nAges]
+	}
 
 	cur := 0 // index of the current state within the set
-	logw[cur] = g.likelihood(set[cur])
-	ages[cur] = set[cur].CoalescentAges()
+	var cache *felsen.DeltaCache
+	if g.NestedSiteParallelism {
+		logw[cur] = g.eval.LogLikelihood(set[cur])
+	} else {
+		cache = g.eval.NewDeltaCache()
+		logw[cur] = g.eval.Rebase(cache, set[cur])
+	}
+	ages[cur] = set[cur].CoalescentAgesInto(ages[cur])
 	stats[cur] = sumKKTFromAges(init.NTips(), ages[cur])
 
 	total := cfg.Burnin + cfg.Samples
@@ -98,37 +120,54 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 	}
 	res := &Result{Samples: out}
 
+	// Recorded draws copy their age vector out of the slot buffers into a
+	// single flat arena, carved one record at a time.
+	arena := make([]float64, total*nAges)
+
+	// Proposal kernel: one device thread per candidate (§5.2.1). The
+	// thread owning the current state stays idle, exactly as the paper
+	// notes for the generator's thread. The closure is built once; phi,
+	// cur and slots are rebound per round before the launch.
+	var phi int
+	slots := make([]int, 0, n)
+	kernel := func(tid int) {
+		i := slots[tid]
+		p := set[i]
+		p.CopyFrom(set[cur])
+		if err := resim.Resimulate(p, phi, cfg.Theta, streams.Stream(tid)); err != nil {
+			// A numerically impossible region: the candidate gets zero
+			// weight and can never be sampled; the round proceeds.
+			errs[tid] = err
+			logw[i] = logspace.NegInf
+			return
+		}
+		errs[tid] = nil
+		if cache != nil {
+			logw[i] = g.eval.LogLikelihoodDelta(cache, p)
+		} else {
+			logw[i] = g.eval.LogLikelihood(p)
+		}
+		ages[i] = p.CoalescentAgesInto(ages[i])
+		stats[i] = sumKKTFromAges(out.NTips, ages[i])
+	}
+
 	for out.Len() < total {
 		// Auxiliary variable φ: the shared resimulation target, making
 		// every member of the set able to propose the rest (§4.3).
-		phi := resim.PickTarget(set[cur], host)
-
-		// Proposal kernel: one device thread per candidate (§5.2.1). The
-		// thread owning the current state stays idle, exactly as the
-		// paper notes for the generator's thread.
-		slots := make([]int, 0, n)
+		phi = resim.PickTarget(set[cur], host)
+		slots = slots[:0]
 		for i := 0; i <= n; i++ {
 			if i != cur {
 				slots = append(slots, i)
 			}
 		}
-		g.dev.Launch(n, func(tid int) {
-			i := slots[tid]
-			p := set[i]
-			p.CopyFrom(set[cur])
-			if err := resim.Resimulate(p, phi, cfg.Theta, streams.Stream(tid)); err != nil {
-				// A numerically impossible region: the candidate gets zero
-				// weight and can never be sampled; the round proceeds.
-				errs[tid] = err
-				logw[i] = logspace.NegInf
-				return
-			}
-			errs[tid] = nil
-			logw[i] = g.likelihood(p)
-			ages[i] = p.CoalescentAges()
-			stats[i] = sumKKTFromAges(out.NTips, ages[i])
-		})
+		g.dev.Launch(n, kernel)
 		res.Proposals += n
+		for _, err := range errs {
+			if err != nil {
+				res.FailedProposals++
+			}
+		}
 
 		// Sampling stage: draw from the index chain's stationary
 		// distribution, w_i ∝ P(D|G̃_i) (Eq. 31), perSet times.
@@ -139,19 +178,23 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 				res.Accepted++
 			}
 			last = idx
+			rec := arena[:nAges:nAges]
+			arena = arena[nAges:]
+			copy(rec, ages[idx])
 			out.Stats = append(out.Stats, stats[idx])
-			out.Ages = append(out.Ages, ages[idx])
+			out.Ages = append(out.Ages, rec)
 			out.LogLik = append(out.LogLik, logw[idx])
 		}
-		cur = last
+		if last != cur {
+			cur = last
+			if cache != nil {
+				// Move the conditional-likelihood cache onto the new
+				// current state incrementally: only the accepted
+				// neighbourhood's rows are rewritten.
+				g.eval.RebaseTo(cache, set[cur])
+			}
+		}
 	}
 	res.Final = set[cur].Clone()
 	return res, nil
-}
-
-func (g *GMH) likelihood(t *gtree.Tree) float64 {
-	if g.NestedSiteParallelism {
-		return g.eval.LogLikelihood(t)
-	}
-	return g.eval.LogLikelihoodSerial(t)
 }

@@ -100,6 +100,11 @@ type Result struct {
 	// state (GMH); Proposals counts candidate genealogies generated.
 	Accepted  int
 	Proposals int
+	// FailedProposals counts candidates whose neighbourhood resimulation
+	// landed in a numerically infeasible region (GMH only): they enter the
+	// proposal set with zero weight and can never be drawn, so the round
+	// proceeds, but a high count signals a pathological driving θ.
+	FailedProposals int
 	// Swaps and SwapAttempts count temperature-ladder exchanges (heated
 	// sampler only).
 	Swaps        int

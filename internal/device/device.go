@@ -11,6 +11,26 @@
 // are legal from inside kernels. Absolute throughput differs from a GPU,
 // but the work decomposition — which is what the paper's scaling results
 // measure — is preserved.
+//
+// # Execution model
+//
+// A Device owns a pool of persistent worker goroutines, started lazily on
+// the first parallel Launch and parked on a condition variable between
+// launches — the analogue of a GPU's resident SM schedulers. Each Launch
+// publishes one task (kernel, grid size) to the pool; workers and the
+// launching goroutine claim contiguous chunks of the grid by atomic
+// fetch-and-add until the grid is exhausted, so load imbalance between
+// chunks self-corrects without per-thread goroutine spawns. Because the
+// launching goroutine always participates in its own grid, a nested Launch
+// issued from inside a kernel (dynamic parallelism, §4.4) completes even
+// when every pool worker is busy with the outer grid — nesting cannot
+// deadlock. A panic in any kernel thread is captured and re-raised on the
+// launching goroutine after the grid completes.
+//
+// Close tears the pool down; a closed (or never-started) Device still
+// executes every Launch correctly on the calling goroutine. Devices that
+// are garbage-collected without Close have their workers reclaimed by a
+// runtime cleanup.
 package device
 
 import (
@@ -27,11 +47,42 @@ import (
 // matching the 32-thread warps of every CUDA compute version (§5.1.3).
 const WarpSize = 32
 
+// chunkDivisor sets how many chunks per worker a grid is split into:
+// more chunks smooth load imbalance, fewer chunks reduce claim traffic.
+const chunkDivisor = 4
+
 // Device executes kernels with a bounded degree of parallelism.
 type Device struct {
 	workers  int
+	pool     *pool // nil for single-worker devices
 	launches atomic.Int64
 	threads  atomic.Int64
+}
+
+// pool is the persistent worker substrate of a Device. It is a separate
+// allocation so that worker goroutines keep only the pool alive, letting a
+// runtime cleanup stop them once the Device itself becomes unreachable.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*task // published tasks that may still have unclaimed chunks
+	size    int     // target number of workers
+	started bool
+	closed  bool
+}
+
+// task is one published Launch: a grid of n kernel threads claimed in
+// chunks by atomic fetch-and-add.
+type task struct {
+	kernel   func(tid int)
+	n        int
+	chunk    int
+	next     atomic.Int64 // next unclaimed grid index
+	done     atomic.Int64 // grid indices accounted for (run or skipped by panic)
+	finished chan struct{}
+
+	panicOnce sync.Once
+	panicVal  atomic.Value
 }
 
 // New returns a device with the given number of workers. Non-positive
@@ -40,7 +91,15 @@ func New(workers int) *Device {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Device{workers: workers}
+	d := &Device{workers: workers}
+	if workers > 1 {
+		p := &pool{size: workers - 1} // the launching goroutine is the last worker
+		p.cond = sync.NewCond(&p.mu)
+		d.pool = p
+		// Stop the parked workers if the device is dropped without Close.
+		runtime.AddCleanup(d, func(p *pool) { p.close() }, p)
+	}
+	return d
 }
 
 // Serial returns a single-worker device: every kernel runs sequentially on
@@ -57,13 +116,120 @@ func (d *Device) Stats() (launches, threads int64) {
 	return d.launches.Load(), d.threads.Load()
 }
 
+// Close stops the device's persistent workers. It is safe to call Close
+// more than once, and safe to keep using the device afterwards: launches
+// then execute entirely on the calling goroutine.
+func (d *Device) Close() {
+	if d.pool != nil {
+		d.pool.close()
+	}
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// submit publishes a task to the pool and wakes parked workers, starting
+// them on first use. A closed pool accepts the task silently (the caller
+// runs the whole grid itself).
+func (p *pool) submit(t *task) {
+	p.mu.Lock()
+	if !p.closed {
+		if !p.started {
+			p.started = true
+			for i := 0; i < p.size; i++ {
+				go p.worker()
+			}
+		}
+		p.queue = append(p.queue, t)
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// pending removes fully claimed tasks from the queue and returns one that
+// still has unclaimed chunks, or nil. Caller holds p.mu.
+func (p *pool) pending() *task {
+	live := p.queue[:0]
+	var found *task
+	for _, t := range p.queue {
+		if int(t.next.Load()) < t.n {
+			live = append(live, t)
+			if found == nil {
+				found = t
+			}
+		}
+	}
+	// Drop references past the live prefix so finished tasks are collectable.
+	for i := len(live); i < len(p.queue); i++ {
+		p.queue[i] = nil
+	}
+	p.queue = live
+	return found
+}
+
+// worker is the loop of one persistent pool goroutine: park until a task
+// with unclaimed chunks appears, drain it, repeat.
+func (p *pool) worker() {
+	for {
+		p.mu.Lock()
+		var t *task
+		for {
+			t = p.pending()
+			if t != nil || p.closed {
+				break
+			}
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+		if t == nil {
+			return // pool closed
+		}
+		t.run()
+	}
+}
+
+// run claims and executes chunks until the grid is exhausted.
+func (t *task) run() {
+	for {
+		lo := int(t.next.Add(int64(t.chunk))) - t.chunk
+		if lo >= t.n {
+			return
+		}
+		hi := lo + t.chunk
+		if hi > t.n {
+			hi = t.n
+		}
+		t.exec(lo, hi)
+	}
+}
+
+// exec runs one chunk, crediting its grid indices toward completion even
+// if the kernel panics partway (the panic is re-raised by the launcher).
+func (t *task) exec(lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicOnce.Do(func() { t.panicVal.Store(r) })
+		}
+		if t.done.Add(int64(hi-lo)) == int64(t.n) {
+			close(t.finished)
+		}
+	}()
+	for i := lo; i < hi; i++ {
+		t.kernel(i)
+	}
+}
+
 // Launch runs kernel for every thread id in [0, n), returning when all
-// threads have completed (launch + synchronize). Threads are distributed
-// over the device's workers in contiguous chunks. Kernels may call Launch
-// themselves (dynamic parallelism, §4.4); nesting spawns fresh goroutines,
-// so it cannot deadlock, and the Go scheduler multiplexes the result onto
-// the machine's cores. A panic in any kernel thread is re-raised on the
-// calling goroutine.
+// threads have completed (launch + synchronize). The grid is claimed in
+// contiguous chunks by the persistent workers and the calling goroutine
+// together. Kernels may call Launch themselves (dynamic parallelism,
+// §4.4): the nested grid is guaranteed to finish because its launcher
+// participates, regardless of what the pool workers are doing. A panic in
+// any kernel thread is re-raised on the calling goroutine.
 func (d *Device) Launch(n int, kernel func(tid int)) {
 	if n <= 0 {
 		return
@@ -76,39 +242,18 @@ func (d *Device) Launch(n int, kernel func(tid int)) {
 		}
 		return
 	}
-	g := d.workers
-	if g > n {
-		g = n
+	chunk := n / (d.workers * chunkDivisor)
+	if chunk < 1 {
+		chunk = 1
 	}
-	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicVal any
-	chunk := (n + g - 1) / g
-	for w := 0; w < g; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicVal = r })
-				}
-			}()
-			for i := lo; i < hi; i++ {
-				kernel(i)
-			}
-		}(lo, hi)
+	t := &task{kernel: kernel, n: n, chunk: chunk, finished: make(chan struct{})}
+	d.pool.submit(t)
+	t.run()
+	if t.done.Load() != int64(n) {
+		<-t.finished
 	}
-	wg.Wait()
-	if panicVal != nil {
-		panic(fmt.Sprintf("device: kernel panic: %v", panicVal))
+	if r := t.panicVal.Load(); r != nil {
+		panic(fmt.Sprintf("device: kernel panic: %v", r))
 	}
 }
 

@@ -3,6 +3,7 @@ package device
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -208,6 +209,115 @@ func TestLaunchBlocksCoversRange(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestPoolReuseAcrossLaunches(t *testing.T) {
+	// The persistent pool must survive and stay correct over many launches
+	// on one device, including grids both larger and smaller than the
+	// worker count.
+	d := New(8)
+	defer d.Close()
+	for rep := 0; rep < 200; rep++ {
+		n := 1 + rep%67
+		var count atomic.Int32
+		d.Launch(n, func(int) { count.Add(1) })
+		if int(count.Load()) != n {
+			t.Fatalf("rep %d: %d threads ran, want %d", rep, count.Load(), n)
+		}
+	}
+	launches, _ := d.Stats()
+	if launches != 200 {
+		t.Errorf("Stats launches = %d, want 200", launches)
+	}
+}
+
+func TestNestedLaunchDeep(t *testing.T) {
+	// Three levels of dynamic parallelism on a small pool: every inner
+	// launcher participates in its own grid, so this must complete even
+	// though the pool has fewer workers than live grids.
+	d := New(2)
+	defer d.Close()
+	var count atomic.Int32
+	d.Launch(4, func(int) {
+		d.Launch(4, func(int) {
+			d.Launch(4, func(int) { count.Add(1) })
+		})
+	})
+	if count.Load() != 64 {
+		t.Errorf("count = %d, want 64", count.Load())
+	}
+}
+
+func TestNestedLaunchPanicPropagates(t *testing.T) {
+	d := New(4)
+	defer d.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("nested kernel panic did not propagate")
+		}
+	}()
+	d.Launch(8, func(outer int) {
+		d.Launch(8, func(inner int) {
+			if outer == 3 && inner == 5 {
+				panic("inner boom")
+			}
+		})
+	})
+}
+
+func TestLaunchPanicStillCompletesGrid(t *testing.T) {
+	// A panic must not lose track of the grid: subsequent launches on the
+	// same device still work.
+	d := New(4)
+	defer d.Close()
+	func() {
+		defer func() { recover() }()
+		d.Launch(100, func(tid int) {
+			if tid == 0 {
+				panic("boom")
+			}
+		})
+	}()
+	var count atomic.Int32
+	d.Launch(50, func(int) { count.Add(1) })
+	if count.Load() != 50 {
+		t.Errorf("post-panic launch ran %d threads, want 50", count.Load())
+	}
+}
+
+func TestConcurrentLaunchesShareOnePool(t *testing.T) {
+	// Multiple goroutines launching on the same device concurrently (the
+	// multichain pattern) must each see exactly their own grid.
+	d := New(4)
+	defer d.Close()
+	const callers, n = 6, 500
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var count atomic.Int32
+			d.Launch(n, func(int) { count.Add(1) })
+			if count.Load() != n {
+				t.Errorf("concurrent launch ran %d threads, want %d", count.Load(), n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCloseThenLaunchDegradesToCaller(t *testing.T) {
+	d := New(8)
+	d.Close()
+	d.Close() // double Close is fine
+	var count atomic.Int32
+	d.Launch(100, func(int) { count.Add(1) })
+	if count.Load() != 100 {
+		t.Errorf("launch after Close ran %d threads, want 100", count.Load())
+	}
+	if got := d.ReduceSum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("ReduceSum after Close = %v, want 6", got)
 	}
 }
 

@@ -118,6 +118,7 @@ func Accuracy(c Common) (*AccuracyResult, error) {
 		reps, burnin, samples, emIters = 5, 1000, 10000, 5
 	}
 	dev := device.New(c.workers())
+	defer dev.Close()
 	res := &AccuracyResult{}
 	var allL, allM []float64
 	for ti, trueTheta := range trueThetas {
@@ -183,6 +184,7 @@ func timedRun(s core.Sampler, aln *phylip.Alignment, theta float64, burnin, samp
 // speedupPoint measures one serial-vs-parallel pair.
 func speedupPoint(param int, aln *phylip.Alignment, burnin, samples int, c Common) (SpeedupPoint, error) {
 	dev := device.New(c.workers())
+	defer dev.Close()
 	evalSerial, err := buildEvaluator(aln, device.Serial())
 	if err != nil {
 		return SpeedupPoint{}, err
@@ -305,6 +307,7 @@ func LikelihoodCurve(c Common) (*CurveResult, error) {
 		return nil, err
 	}
 	dev := device.New(c.workers())
+	defer dev.Close()
 	eval, err := buildEvaluator(aln, dev)
 	if err != nil {
 		return nil, err
@@ -399,32 +402,42 @@ func MultichainEfficiency(c Common) ([]MultichainPoint, error) {
 	if maxP == 0 {
 		maxP = device.New(0).Workers()
 	}
-	for p := 1; p <= maxP; p *= 2 {
+	// Each parallelism point gets its own device, torn down before the
+	// next point so earlier pools' workers cannot pollute later timings.
+	point := func(p int) (MultichainPoint, error) {
 		dev := device.New(p)
+		defer dev.Close()
 		evalSerial, err := buildEvaluator(aln, device.Serial())
 		if err != nil {
-			return nil, err
+			return MultichainPoint{}, err
 		}
 		mc := core.NewMultiChain(evalSerial, dev, p)
 		tMC, err := timedRun(mc, aln, 1.0, burnin, samples, c.seed()+31)
 		if err != nil {
-			return nil, err
+			return MultichainPoint{}, err
 		}
 		evalPar, err := buildEvaluator(aln, dev)
 		if err != nil {
-			return nil, err
+			return MultichainPoint{}, err
 		}
 		gmh := core.NewGMH(evalPar, dev, p)
 		tGMH, err := timedRun(gmh, aln, 1.0, burnin, samples, c.seed()+37)
 		if err != nil {
-			return nil, err
+			return MultichainPoint{}, err
 		}
-		out = append(out, MultichainPoint{
+		return MultichainPoint{
 			P:             p,
 			MultichainSec: tMC,
 			GMHSec:        tGMH,
 			ModelWork:     (float64(burnin) + float64(samples)/float64(p)) / float64(burnin+samples),
-		})
+		}, nil
+	}
+	for p := 1; p <= maxP; p *= 2 {
+		pt, err := point(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }

@@ -1,0 +1,286 @@
+package felsen
+
+// Incremental (delta) likelihood evaluation over site patterns.
+//
+// The proposal kernel of the sampler only rewrites the resimulated
+// neighbourhood of the current genealogy (paper §4.2-4.3): two interior
+// node slots change, everything else keeps its topology, ages and hence
+// per-site conditional likelihoods. On the paper's hardware those
+// conditionals live in device memory between rounds; here a DeltaCache
+// plays that role. A delta evaluation recomputes only the nodes whose
+// subtree differs from the cached base — the changed neighbourhood and its
+// ancestors up to the root — and reads every other conditional from the
+// cache.
+//
+// Two further device-side compressions apply, mirroring the paper's use of
+// constant memory for the immutable sequence data (§4.4):
+//
+//   - Alignment columns are deduplicated into weighted site patterns once
+//     per evaluator; conditionals are computed per pattern and the per-
+//     pattern log-likelihoods enter the total with their multiplicities.
+//     This is an exact transformation of the sum over sites.
+//   - Tip conditionals are never stored: they are regenerated from the
+//     packed pattern codes at use, so the cache holds interior nodes only.
+//
+// Within every recomputed node the arithmetic is identical to the full
+// serial evaluation; only the summation over sites is reassociated (by
+// pattern), so delta results agree with LogLikelihoodSerial to floating-
+// point roundoff rather than bit-for-bit. All members of one proposal set
+// are evaluated through the same path, so their weights stay exactly
+// comparable.
+
+import (
+	"math"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/logspace"
+	"mpcgs/internal/subst"
+)
+
+// cell is one cached conditional: the likelihood vector and its
+// accumulated rescaling log, packed together so a clean-node lookup
+// touches one contiguous 40-byte record.
+type cell struct {
+	p [4]float64
+	s float64
+}
+
+// DeltaCache holds the per-pattern conditional likelihoods of every
+// interior node of one base genealogy, plus the base tree itself for
+// diffing. It is created by NewDeltaCache, filled by Rebase or RebaseTo,
+// and read concurrently by any number of LogLikelihoodDelta calls.
+type DeltaCache struct {
+	base *gtree.Tree
+	// cells is pattern-major: entry [pat*nInterior + (node - nTips)].
+	cells  []cell
+	logLik float64
+	valid  bool
+}
+
+// deltaScratch is the pooled working memory of one delta evaluation: the
+// dirty marking, the changed nodes in bottom-up order, fresh transition
+// matrices for changed edges, and one pattern's worth of recomputed
+// conditionals.
+type deltaScratch struct {
+	dirty    []bool
+	order    []int
+	mats     []subst.Matrix // indexed by child node, like scratch.mats
+	partials [][4]float64   // per-node, reused across patterns
+	scale    []float64
+}
+
+// NewDeltaCache allocates an empty cache sized for the evaluator's
+// pattern-compressed alignment. The cache is invalid until the first
+// Rebase.
+func (e *Evaluator) NewDeltaCache() *DeltaCache {
+	nInt := len(e.seqs) - 1
+	return &DeltaCache{cells: make([]cell, nInt*e.nPatterns)}
+}
+
+// tipPartialInto regenerates a tip's conditional vector for a pattern
+// from the packed pattern codes.
+func (e *Evaluator) tipPartialInto(tip, pat int, v *[4]float64) {
+	if code := e.patBase[tip][pat]; code < 4 {
+		*v = [4]float64{}
+		v[code] = 1
+	} else {
+		*v = [4]float64{1, 1, 1, 1}
+	}
+}
+
+// Rebase fully evaluates t over the site patterns, stores every interior
+// node's conditionals in the cache, records t as the cache's base, and
+// returns log P(D|G). It runs the delta kernel with every interior node
+// marked dirty, so full and incremental evaluations are one code path.
+func (e *Evaluator) Rebase(c *DeltaCache, t *gtree.Tree) float64 {
+	ds := e.deltaPool.Get().(*deltaScratch)
+	defer e.deltaPool.Put(ds)
+	ds.order = ds.order[:0]
+	for i := range ds.dirty {
+		tip := i < t.NTips()
+		ds.dirty[i] = !tip
+		if !tip {
+			ds.order = append(ds.order, i)
+		}
+	}
+	sortByAge(t, ds.order)
+	total := e.evalDelta(c, t, ds, true)
+	if c.base == nil {
+		c.base = t.Clone()
+	} else {
+		c.base.CopyFrom(t)
+	}
+	c.logLik = total
+	c.valid = true
+	return total
+}
+
+// LogLikelihoodDelta returns log P(D|G) for a tree differing from the
+// cache's base in a localized edit, recomputing only the changed nodes and
+// their ancestors. It is safe to call concurrently against one cache (the
+// cache is only read). It agrees with LogLikelihoodSerial(t) to floating-
+// point roundoff; the speedup over it grows with the fraction of the tree
+// left untouched by the edit.
+func (e *Evaluator) LogLikelihoodDelta(c *DeltaCache, t *gtree.Tree) float64 {
+	if !c.valid {
+		panic("felsen: LogLikelihoodDelta on cache with no base; call Rebase first")
+	}
+	ds := e.deltaPool.Get().(*deltaScratch)
+	defer e.deltaPool.Put(ds)
+	e.diffDirty(c.base, t, ds)
+	if len(ds.order) == 0 {
+		return c.logLik
+	}
+	return e.evalDelta(c, t, ds, false)
+}
+
+// RebaseTo incrementally moves the cache onto t: the changed nodes are
+// recomputed with their new conditionals written into the cache in place,
+// and t becomes the new base. It must not run concurrently with delta
+// evaluations on the same cache. Returns log P(D|G) for t.
+func (e *Evaluator) RebaseTo(c *DeltaCache, t *gtree.Tree) float64 {
+	if !c.valid {
+		return e.Rebase(c, t)
+	}
+	ds := e.deltaPool.Get().(*deltaScratch)
+	defer e.deltaPool.Put(ds)
+	e.diffDirty(c.base, t, ds)
+	if len(ds.order) == 0 {
+		return c.logLik
+	}
+	total := e.evalDelta(c, t, ds, true)
+	c.base.CopyFrom(t)
+	c.logLik = total
+	return total
+}
+
+// diffDirty marks every node of t whose conditional likelihoods differ
+// from the cached base: interior nodes whose age or (unordered) child set
+// changed, plus all their ancestors in t. ds.order receives the marked
+// nodes sorted by age ascending — a valid bottom-up evaluation order,
+// since every node is strictly older than its children.
+func (e *Evaluator) diffDirty(base, t *gtree.Tree, ds *deltaScratch) {
+	for i := range ds.dirty {
+		ds.dirty[i] = false
+	}
+	ds.order = ds.order[:0]
+	for i := t.NTips(); i < len(t.Nodes); i++ {
+		tn, bn := &t.Nodes[i], &base.Nodes[i]
+		same := tn.Age == bn.Age &&
+			((tn.Child[0] == bn.Child[0] && tn.Child[1] == bn.Child[1]) ||
+				(tn.Child[0] == bn.Child[1] && tn.Child[1] == bn.Child[0]))
+		if !same {
+			for j := i; j != gtree.Nil && !ds.dirty[j]; j = t.Nodes[j].Parent {
+				ds.dirty[j] = true
+				ds.order = append(ds.order, j)
+			}
+		}
+	}
+	sortByAge(t, ds.order)
+}
+
+// sortByAge insertion-sorts node indices by age ascending — a valid
+// bottom-up evaluation order, since every node is strictly older than its
+// children. The lists are short (an edit neighbourhood plus root paths,
+// or the interior nodes of a small tree).
+func sortByAge(t *gtree.Tree, order []int) {
+	for k := 1; k < len(order); k++ {
+		x := order[k]
+		ax := t.Nodes[x].Age
+		j := k - 1
+		for j >= 0 && t.Nodes[order[j]].Age > ax {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
+}
+
+// evalDelta recomputes the dirty nodes across all patterns, reading clean
+// conditionals from the cache and regenerating tip conditionals from the
+// pattern codes. With writeBack it stores the recomputed rows into the
+// cache (safe because children are processed before parents within each
+// pattern); otherwise the cache is untouched. The per-node arithmetic
+// mirrors siteLogLikelihoodIter exactly.
+func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, writeBack bool) float64 {
+	// Fresh transition matrices for every edge below a changed node: these
+	// are the only edges whose lengths can differ from the base (an edge
+	// below an untouched node has untouched endpoints), and the only ones
+	// the recomputation reads. This is the batched per-proposal matrix
+	// preparation: 2·|dirty| matrices instead of one per node.
+	for _, node := range ds.order {
+		nd := &t.Nodes[node]
+		for _, ch := range nd.Child {
+			e.model.TransitionInto(nd.Age-t.Nodes[ch].Age, &ds.mats[ch])
+		}
+	}
+	nTips := t.NTips()
+	nInt := t.NInterior()
+	var tipBuf [2][4]float64
+	total := 0.0
+	for pat := 0; pat < e.nPatterns; pat++ {
+		row := pat * nInt
+		for _, node := range ds.order {
+			nd := &t.Nodes[node]
+			c0, c1 := nd.Child[0], nd.Child[1]
+			var l, r *[4]float64
+			ls, rs := 0.0, 0.0
+			switch {
+			case c0 < nTips:
+				e.tipPartialInto(c0, pat, &tipBuf[0])
+				l = &tipBuf[0]
+			case ds.dirty[c0]:
+				l, ls = &ds.partials[c0], ds.scale[c0]
+			default:
+				cc := &c.cells[row+c0-nTips]
+				l, ls = &cc.p, cc.s
+			}
+			switch {
+			case c1 < nTips:
+				e.tipPartialInto(c1, pat, &tipBuf[1])
+				r = &tipBuf[1]
+			case ds.dirty[c1]:
+				r, rs = &ds.partials[c1], ds.scale[c1]
+			default:
+				cc := &c.cells[row+c1-nTips]
+				r, rs = &cc.p, cc.s
+			}
+			m0, m1 := &ds.mats[c0], &ds.mats[c1]
+			out := &ds.partials[node]
+			maxv := 0.0
+			for x := 0; x < 4; x++ {
+				s0 := m0[x][0]*l[0] + m0[x][1]*l[1] + m0[x][2]*l[2] + m0[x][3]*l[3]
+				s1 := m1[x][0]*r[0] + m1[x][1]*r[1] + m1[x][2]*r[2] + m1[x][3]*r[3]
+				out[x] = s0 * s1
+				if out[x] > maxv {
+					maxv = out[x]
+				}
+			}
+			sc := ls + rs
+			if maxv < rescaleThreshold && maxv > 0 {
+				inv := 1 / maxv
+				for x := 0; x < 4; x++ {
+					out[x] *= inv
+				}
+				sc += math.Log(maxv)
+			}
+			ds.scale[node] = sc
+			if writeBack {
+				cc := &c.cells[row+node-nTips]
+				cc.p = *out
+				cc.s = sc
+			}
+		}
+		// The root is always dirty here: diffDirty marks every changed
+		// node's full ancestor path.
+		rootP := &ds.partials[t.Root]
+		rootScale := ds.scale[t.Root]
+		siteL := e.freqs[0]*rootP[0] + e.freqs[1]*rootP[1] + e.freqs[2]*rootP[2] + e.freqs[3]*rootP[3]
+		if siteL <= 0 {
+			total += logspace.NegInf
+			continue
+		}
+		total += e.patCount[pat] * (math.Log(siteL) + rootScale)
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+package felsen
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/phylip"
+	"mpcgs/internal/resim"
+	"mpcgs/internal/rng"
+	"mpcgs/internal/seqgen"
+	"mpcgs/internal/subst"
+)
+
+func benchFixture(b *testing.B, nSeq, L int) (*Evaluator, *gtree.Tree) {
+	b.Helper()
+	aln, _, err := seqgen.SimulateData(nSeq, L, 1.0, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval := benchEval(b, aln)
+	tree, err := gtree.RandomCoalescent(aln.Names, 1.0, rng.NewMT19937(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eval, tree
+}
+
+func benchEval(b *testing.B, aln *phylip.Alignment) *Evaluator {
+	b.Helper()
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := New(model, aln, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eval
+}
+
+// BenchmarkDeltaVsSerial pins the cost of one proposal likelihood on the
+// delta path (incremental, pattern-compressed, allocation-free) against
+// the from-scratch serial evaluation the seed's GMH kernel performed per
+// proposal. The ratio is the per-proposal work saving behind the §6
+// speedups; it must grow with sequence length.
+func BenchmarkDeltaVsSerial(b *testing.B) {
+	for _, L := range []int{200, 1000} {
+		eval, tree := benchFixture(b, 12, L)
+		c := eval.NewDeltaCache()
+		eval.Rebase(c, tree)
+		src := rng.NewMT19937(77)
+		prop := tree.Clone()
+		for {
+			prop.CopyFrom(tree)
+			target := resim.PickTarget(prop, src)
+			if resim.Resimulate(prop, target, 1.0, src) == nil {
+				break
+			}
+		}
+		b.Run(fmt.Sprintf("delta/bp=%d", L), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eval.LogLikelihoodDelta(c, prop)
+			}
+		})
+		b.Run(fmt.Sprintf("serial/bp=%d", L), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eval.LogLikelihoodSerial(prop)
+			}
+		})
+	}
+}

@@ -41,6 +41,15 @@ type Evaluator struct {
 	dev       *device.Device
 	pool      sync.Pool // *scratch
 	blockPool sync.Pool // *blockScratch
+	deltaPool sync.Pool // *deltaScratch
+
+	// Site-pattern compression for the delta path (see delta.go): distinct
+	// alignment columns, their multiplicities, and per-tip base codes
+	// (0..3, 4 = missing) — the immutable data the paper parks in constant
+	// memory (§4.4).
+	nPatterns int
+	patCount  []float64
+	patBase   [][]uint8
 }
 
 type scratch struct {
@@ -89,7 +98,50 @@ func New(model subst.Model, aln *phylip.Alignment, dev *device.Device) (*Evaluat
 			scale:    make([]float64, nNodes),
 		}
 	}
+	e.deltaPool.New = func() any {
+		return &deltaScratch{
+			dirty:    make([]bool, nNodes),
+			order:    make([]int, 0, nNodes),
+			mats:     make([]subst.Matrix, nNodes),
+			partials: make([][4]float64, nNodes),
+			scale:    make([]float64, nNodes),
+		}
+	}
+	e.compressPatterns()
 	return e, nil
+}
+
+// compressPatterns deduplicates alignment columns into weighted site
+// patterns: the delta path evaluates each distinct column once and sums
+// the per-pattern log-likelihoods with their multiplicities — an exact
+// reassociation of the sum over sites.
+func (e *Evaluator) compressPatterns() {
+	nSeqs := len(e.seqs)
+	e.patBase = make([][]uint8, nSeqs)
+	for i := range e.patBase {
+		e.patBase[i] = make([]uint8, 0, e.nSites)
+	}
+	index := make(map[string]int, e.nSites)
+	key := make([]byte, nSeqs)
+	for site := 0; site < e.nSites; site++ {
+		for i, sq := range e.seqs {
+			if b, known := sq.At(site); known {
+				key[i] = uint8(b)
+			} else {
+				key[i] = 4
+			}
+		}
+		if pat, ok := index[string(key)]; ok {
+			e.patCount[pat]++
+			continue
+		}
+		index[string(key)] = e.nPatterns
+		e.nPatterns++
+		e.patCount = append(e.patCount, 1)
+		for i := range e.patBase {
+			e.patBase[i] = append(e.patBase[i], key[i])
+		}
+	}
 }
 
 // NSites returns the number of base-pair positions.

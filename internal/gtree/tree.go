@@ -130,12 +130,19 @@ func (t *Tree) PostOrder(fn func(i int)) {
 // CoalescentAges returns the interior node ages sorted ascending: the
 // times of the n-1 coalescent events, most recent first.
 func (t *Tree) CoalescentAges() []float64 {
-	ages := make([]float64, 0, t.NInterior())
+	return t.CoalescentAgesInto(make([]float64, 0, t.NInterior()))
+}
+
+// CoalescentAgesInto fills dst with the sorted interior node ages without
+// allocating (given cap(dst) >= NInterior) and returns it. The sampler hot
+// loop reuses per-slot buffers through this.
+func (t *Tree) CoalescentAgesInto(dst []float64) []float64 {
+	dst = dst[:0]
 	for i := t.nTips; i < len(t.Nodes); i++ {
-		ages = append(ages, t.Nodes[i].Age)
+		dst = append(dst, t.Nodes[i].Age)
 	}
-	sort.Float64s(ages)
-	return ages
+	sort.Float64s(dst)
+	return dst
 }
 
 // IntervalDurations returns the coalescent interval lengths t_i of paper

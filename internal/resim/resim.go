@@ -62,13 +62,26 @@ func Targets(t *gtree.Tree) []int {
 
 // PickTarget samples the auxiliary variable φ: a uniform choice among the
 // non-root interior nodes. It panics for trees with fewer than 3 tips,
-// which have no resimulatable neighbourhood.
+// which have no resimulatable neighbourhood. It draws exactly as if
+// indexing into Targets but without materializing the slice: the sampler
+// calls it once per round and the hot path stays allocation-free.
 func PickTarget(t *gtree.Tree, src rng.Source) int {
-	targets := Targets(t)
-	if len(targets) == 0 {
+	n := t.NInterior() - 1
+	if n <= 0 {
 		panic("resim: tree has no resimulatable target (need >= 3 tips)")
 	}
-	return targets[rng.Intn(src, len(targets))]
+	r := rng.Intn(src, n)
+	for k := 0; k < t.NInterior(); k++ {
+		i := t.InteriorIndex(k)
+		if i == t.Root {
+			continue
+		}
+		if r == 0 {
+			return i
+		}
+		r--
+	}
+	panic("resim: internal error: target index out of range")
 }
 
 // Resimulate redraws the neighbourhood around target from the conditional

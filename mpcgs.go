@@ -241,7 +241,9 @@ type Result struct {
 // Curve evaluates the relative log-likelihood log L(θ) of the final
 // sample set over the given θ grid (the curve of paper Fig. 5).
 func (r *Result) Curve(thetas []float64) []float64 {
-	return core.Curve(r.lastSet, thetas, device.New(r.workers))
+	dev := device.New(r.workers)
+	defer dev.Close()
+	return core.Curve(r.lastSet, thetas, dev)
 }
 
 // Run performs the full maximum likelihood estimation of θ.
@@ -263,6 +265,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	dev := device.New(c.Workers)
+	defer dev.Close()
 	eval, err := felsen.New(model, aln, dev)
 	if err != nil {
 		return nil, err
@@ -347,6 +350,7 @@ func RunBayesian(cfg Config) (*BayesResult, error) {
 		return nil, err
 	}
 	dev := device.New(c.Workers)
+	defer dev.Close()
 	eval, err := felsen.New(model, aln, dev)
 	if err != nil {
 		return nil, err

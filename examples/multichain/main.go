@@ -60,7 +60,9 @@ func main() {
 			}
 			return time.Since(start)
 		}
-		tMC := run(core.NewMultiChain(evalSerial, dev, p))
+		mc := core.NewMultiChain(evalSerial, dev, p)
+		mc.SerialEval = true // the historical LAMARC-chain measurement
+		tMC := run(mc)
 		tGMH := run(core.NewGMH(evalPar, dev, p))
 		model := (float64(burnin) + float64(samples)/float64(p)) / float64(burnin+samples)
 		fmt.Printf("%-4d %-16v %-16v %-24.3f\n", p, tMC.Round(time.Millisecond), tGMH.Round(time.Millisecond), model)

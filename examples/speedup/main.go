@@ -41,7 +41,9 @@ func measure(nSeq, seqLen, burnin, samples int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := run(core.NewMH(evalSerial))
+	lamarc := core.NewMH(evalSerial)
+	lamarc.SerialEval = true // the LAMARC reference: full recomputation per step
+	base := run(lamarc)
 	fmt.Printf("workload %d x %d bp: serial MH baseline %v\n", nSeq, seqLen, base.Round(time.Millisecond))
 	// Device workers are virtual GPU threads, not OS cores, so the sweep
 	// covers the paper's ladder regardless of the host's core count (a

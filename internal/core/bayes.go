@@ -5,9 +5,9 @@ import (
 	"math"
 
 	"mpcgs/internal/coalprior"
+	"mpcgs/internal/device"
 	"mpcgs/internal/felsen"
 	"mpcgs/internal/gtree"
-	"mpcgs/internal/resim"
 	"mpcgs/internal/rng"
 )
 
@@ -17,7 +17,10 @@ import (
 //
 //   - Genealogy moves: the neighbourhood resimulation kernel at the
 //     current θ, accepted by the data-likelihood ratio (the conditional
-//     prior proposal cancels P(G|θ), Eq. 28).
+//     prior proposal cancels P(G|θ), Eq. 28). They run on the shared
+//     chain engine, so each move delta-evaluates only the resimulated
+//     neighbourhood against the chain's conditional-likelihood cache —
+//     exactly the long-chain regime where incremental evaluation pays.
 //   - θ moves: a multiplicative log-normal random walk. Under the
 //     log-uniform prior π(θ) ∝ 1/θ on [ThetaMin, ThetaMax] (LAMARC's
 //     default), the Hastings factor θ'/θ cancels the prior ratio exactly,
@@ -36,13 +39,18 @@ type Bayesian struct {
 	// ThetaEvery attempts a θ move after every k genealogy moves. Zero
 	// selects 1.
 	ThetaEvery int
+	// SerialEval re-evaluates every genealogy proposal from scratch, the
+	// pre-engine behaviour kept as the equivalence-test oracle.
+	SerialEval bool
 }
 
-// NewBayesian builds the joint (G, θ) sampler. Genealogy moves run
-// serially: the Bayesian mode exists for posterior inference, and its
-// parallel variant would reuse the GMH machinery unchanged (the index
-// chain is a valid move on G given θ).
-func NewBayesian(eval *felsen.Evaluator) *Bayesian {
+// NewBayesian builds the joint (G, θ) sampler. It takes the device like
+// every other sampler constructor so callers build them uniformly, but
+// the joint chain itself is sequential (one state, two move types), so
+// the device is not retained — the evaluator carries its own; a parallel
+// variant would reuse the GMH machinery unchanged (the index chain is a
+// valid move on G given θ) and would bind to the device then.
+func NewBayesian(eval *felsen.Evaluator, _ *device.Device) *Bayesian {
 	return &Bayesian{eval: eval}
 }
 
@@ -104,38 +112,21 @@ func (b *Bayesian) Run(init *gtree.Tree, cfg ChainConfig) (*BayesResult, error) 
 	}
 
 	src := seedSource(cfg.Seed, 6)
-	cur := init.Clone()
-	prop := init.Clone()
-	curLL := b.eval.LogLikelihoodSerial(cur)
+	st := newChainState(b.eval, init, b.SerialEval)
 	theta := cfg.Theta
 
+	rec := newRecorder(init.NTips(), cfg)
 	total := cfg.Burnin + cfg.Samples
-	set := &SampleSet{
-		NTips:  init.NTips(),
-		Theta0: cfg.Theta,
-		Burnin: cfg.Burnin,
-		Stats:  make([]float64, 0, total),
-		Ages:   make([][]float64, 0, total),
-		LogLik: make([]float64, 0, total),
-	}
-	res := &BayesResult{Samples: set, Thetas: make([]float64, 0, total)}
+	res := &BayesResult{Samples: rec.set, Thetas: make([]float64, 0, total)}
 
-	curAges := cur.CoalescentAges()
-	curStat := sumKKTFromAges(set.NTips, curAges)
 	for step_ := 0; step_ < total; step_++ {
 		// Genealogy move at the current theta.
-		target := resim.PickTarget(cur, src)
-		prop.CopyFrom(cur)
-		if err := resim.Resimulate(prop, target, theta, src); err != nil {
+		accepted, err := st.step(theta, src)
+		if err != nil {
 			return nil, fmt.Errorf("core: proposal failed: %w", err)
 		}
 		res.TreeMoves++
-		propLL := b.eval.LogLikelihoodSerial(prop)
-		if logr := propLL - curLL; logr >= 0 || src.Float64() < math.Exp(logr) {
-			cur, prop = prop, cur
-			curLL = propLL
-			curAges = cur.CoalescentAges()
-			curStat = sumKKTFromAges(set.NTips, curAges)
+		if accepted {
 			res.TreeAccepted++
 		}
 
@@ -144,8 +135,8 @@ func (b *Bayesian) Run(init *gtree.Tree, cfg ChainConfig) (*BayesResult, error) 
 			res.ThetaMoves++
 			next := rng.LogNormalStep(src, theta, step)
 			if next >= tmin && next <= tmax {
-				logr := coalprior.LogPriorStat(set.NTips, curStat, next) -
-					coalprior.LogPriorStat(set.NTips, curStat, theta)
+				logr := coalprior.LogPriorStat(rec.set.NTips, st.stat, next) -
+					coalprior.LogPriorStat(rec.set.NTips, st.stat, theta)
 				if logr >= 0 || src.Float64() < math.Exp(logr) {
 					theta = next
 					res.ThetaAccepted++
@@ -153,9 +144,7 @@ func (b *Bayesian) Run(init *gtree.Tree, cfg ChainConfig) (*BayesResult, error) 
 			}
 		}
 
-		set.Stats = append(set.Stats, curStat)
-		set.Ages = append(set.Ages, curAges)
-		set.LogLik = append(set.LogLik, curLL)
+		rec.recordState(st)
 		res.Thetas = append(res.Thetas, theta)
 	}
 	return res, nil

@@ -19,7 +19,7 @@ func TestBayesianFlatDataThetaFollowsPrior(t *testing.T) {
 	// Check the mean of log θ and the median against the prior's.
 	eval := flatEvaluator(t, 5, device.Serial())
 	init := startTree(t, names(5), 1.0, 311)
-	b := NewBayesian(eval)
+	b := NewBayesian(eval, device.Serial())
 	b.ThetaMin, b.ThetaMax = 0.1, 10.0
 	b.ThetaStep = 0.8 // wide steps to traverse the support quickly
 	res, err := b.Run(init, ChainConfig{Theta: 1.0, Burnin: 2000, Samples: 60000, Seed: 312})
@@ -57,7 +57,7 @@ func TestBayesianFlatDataGenealogyConsistent(t *testing.T) {
 	// log-uniform prior.
 	eval := flatEvaluator(t, 5, device.Serial())
 	init := startTree(t, names(5), 1.0, 321)
-	b := NewBayesian(eval)
+	b := NewBayesian(eval, device.Serial())
 	b.ThetaMin, b.ThetaMax = 0.5, 2.0
 	b.ThetaStep = 0.5
 	res, err := b.Run(init, ChainConfig{Theta: 1.0, Burnin: 2000, Samples: 60000, Seed: 322})
@@ -100,7 +100,7 @@ func TestBayesianPosteriorNearMLE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewBayesian(eval)
+	b := NewBayesian(eval, device.Serial())
 	res, err := b.Run(init, ChainConfig{Theta: 1.0, Burnin: 3000, Samples: 20000, Seed: 333})
 	if err != nil {
 		t.Fatal(err)
@@ -119,11 +119,11 @@ func TestBayesianDeterministic(t *testing.T) {
 	eval := flatEvaluator(t, 4, device.Serial())
 	init := startTree(t, names(4), 1.0, 341)
 	cfg := ChainConfig{Theta: 1.0, Burnin: 50, Samples: 300, Seed: 342}
-	a, err := NewBayesian(eval).Run(init, cfg)
+	a, err := NewBayesian(eval, device.Serial()).Run(init, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewBayesian(eval).Run(init, cfg)
+	b, err := NewBayesian(eval, device.Serial()).Run(init, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,17 +137,17 @@ func TestBayesianDeterministic(t *testing.T) {
 func TestBayesianValidation(t *testing.T) {
 	eval := flatEvaluator(t, 4, device.Serial())
 	init := startTree(t, names(4), 1.0, 351)
-	b := NewBayesian(eval)
+	b := NewBayesian(eval, device.Serial())
 	b.ThetaMin, b.ThetaMax = 2.0, 1.0
 	if _, err := b.Run(init, ChainConfig{Theta: 1.5, Samples: 10}); err == nil {
 		t.Error("inverted prior range accepted")
 	}
-	c := NewBayesian(eval)
+	c := NewBayesian(eval, device.Serial())
 	c.ThetaMin, c.ThetaMax = 1.0, 2.0
 	if _, err := c.Run(init, ChainConfig{Theta: 5.0, Samples: 10}); err == nil {
 		t.Error("initial theta outside support accepted")
 	}
-	if _, err := NewBayesian(eval).Run(init, ChainConfig{Theta: 0, Samples: 10}); err == nil {
+	if _, err := NewBayesian(eval, device.Serial()).Run(init, ChainConfig{Theta: 0, Samples: 10}); err == nil {
 		t.Error("bad chain config accepted")
 	}
 }
@@ -155,7 +155,7 @@ func TestBayesianValidation(t *testing.T) {
 func TestBayesianThetaEvery(t *testing.T) {
 	eval := flatEvaluator(t, 4, device.Serial())
 	init := startTree(t, names(4), 1.0, 361)
-	b := NewBayesian(eval)
+	b := NewBayesian(eval, device.Serial())
 	b.ThetaEvery = 5
 	res, err := b.Run(init, ChainConfig{Theta: 1.0, Burnin: 0, Samples: 100, Seed: 362})
 	if err != nil {

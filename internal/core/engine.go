@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/resim"
+	"mpcgs/internal/rng"
+)
+
+// chainState is the shared chain engine: the complete working state of one
+// Markov chain over genealogies, with every genealogy move delta-evaluated
+// against the chain's own conditional-likelihood cache and every per-step
+// buffer owned by the state so the step loop allocates nothing.
+//
+// One chainState backs one chain of any sampler — the MH baseline, each
+// rung of the MC³ ladder (with its own tempering exponent β), the
+// genealogy half of the Bayesian joint sampler, and each independent chain
+// of MultiChain. The lifecycle of a step is
+//
+//	propose → (decide) → accept | reject
+//
+// or the bundled step(), which also draws the Metropolis decision.
+// propose resimulates a neighbourhood of cur into prop (through the
+// state's own resim.Scratch, so the region analysis is allocation-free)
+// and stages an incremental evaluation against the cache: only the
+// resimulated nodes and their root path are recomputed, the paper's
+// in-device-memory data reuse (§4.4) generalized from the GMH kernel to
+// every sampler. accept commits the staged conditionals into the cache
+// (one memory copy, no re-evaluation) and swaps cur/prop; reject discards
+// them — the cache never saw the proposal, so rejection is free.
+//
+// A chainState is not safe for concurrent use; it is the unit of
+// parallelism. Ladders and chain pools run one state per device stream.
+type chainState struct {
+	eval *felsen.Evaluator
+	// serial selects the LAMARC reference mode: every proposal is
+	// re-evaluated from scratch with LogLikelihoodSerial, exactly like the
+	// pre-engine samplers. It is the baseline of the paper's speedup
+	// measurements and the oracle of the engine's equivalence tests.
+	serial bool
+	// beta is the tempering exponent on the data likelihood: the chain
+	// targets P(D|G)^β·P(G|θ). 1 is the untempered posterior; MC³ ladder
+	// rungs use β < 1. The prior is never tempered, matching LAMARC's
+	// heating (Kuhner 2006). Tempering the delta evaluation is exact by
+	// construction — the exponent distributes over the per-pattern
+	// product, so β scales the total log-likelihood — and it lives here,
+	// outside the evaluator: each rung's cache stores untempered
+	// conditionals and never needs to know another rung's β, which is
+	// what lets swaps exchange whole states without touching any cache.
+	beta float64
+
+	cache  *felsen.DeltaCache
+	staged felsen.DeltaEval
+	// pending reports whether staged holds an unresolved evaluation.
+	pending bool
+
+	cur     *gtree.Tree
+	prop    *gtree.Tree
+	logLik  float64 // untempered log P(D|cur)
+	propLik float64 // untempered log P(D|prop) of the pending proposal
+	ages    []float64
+	stat    float64
+	scratch *resim.Scratch
+}
+
+// newChainState builds the engine state for one chain starting at init,
+// with its own delta cache (or none, in serial reference mode).
+func newChainState(eval *felsen.Evaluator, init *gtree.Tree, serial bool) *chainState {
+	s := &chainState{
+		eval:    eval,
+		serial:  serial,
+		beta:    1,
+		cur:     init.Clone(),
+		prop:    init.Clone(),
+		scratch: resim.NewScratch(),
+	}
+	if serial {
+		s.logLik = eval.LogLikelihoodSerial(s.cur)
+	} else {
+		s.cache = eval.NewDeltaCache()
+		s.logLik = eval.Rebase(s.cache, s.cur)
+	}
+	s.ages = s.cur.CoalescentAgesInto(make([]float64, 0, init.NInterior()))
+	s.stat = sumKKTFromAges(init.NTips(), s.ages)
+	return s
+}
+
+// newChainLadder builds p chain states all starting at init, paying for
+// one evaluation of init and replicating its result — log-likelihood and,
+// in delta mode, the whole conditional cache — across the rungs instead
+// of re-evaluating the same tree p times.
+func newChainLadder(eval *felsen.Evaluator, init *gtree.Tree, serial bool, p int) []*chainState {
+	states := make([]*chainState, p)
+	states[0] = newChainState(eval, init, serial)
+	for i := 1; i < p; i++ {
+		s := &chainState{
+			eval:    eval,
+			serial:  serial,
+			beta:    1,
+			cur:     init.Clone(),
+			prop:    init.Clone(),
+			scratch: resim.NewScratch(),
+			logLik:  states[0].logLik,
+			stat:    states[0].stat,
+		}
+		if !serial {
+			s.cache = eval.NewDeltaCache()
+			s.cache.CopyFrom(states[0].cache)
+		}
+		s.ages = s.cur.CoalescentAgesInto(make([]float64, 0, init.NInterior()))
+		states[i] = s
+	}
+	return states
+}
+
+// propose draws the next candidate: a uniform neighbourhood target, its
+// resimulation from the conditional coalescent prior at theta, and the
+// candidate's data log-likelihood. The proposal stays pending until accept
+// or reject resolves it. On a resimulation error nothing is pending and
+// the chain state is unchanged.
+func (s *chainState) propose(theta float64, src rng.Source) error {
+	target := resim.PickTarget(s.cur, src)
+	s.prop.CopyFrom(s.cur)
+	if err := resim.ResimulateScratch(s.prop, target, theta, src, s.scratch); err != nil {
+		return err
+	}
+	if s.serial {
+		s.propLik = s.eval.LogLikelihoodSerial(s.prop)
+	} else {
+		s.staged = s.eval.StageDelta(s.cache, s.prop)
+		s.propLik = s.staged.LogLik()
+		s.pending = true
+	}
+	return nil
+}
+
+// logAcceptRatio returns the tempered log Metropolis ratio of the pending
+// proposal: β·(log P(D|G') − log P(D|G)). The conditional-prior proposal
+// cancels the (untempered) prior exactly as in Eq. 28.
+func (s *chainState) logAcceptRatio() float64 {
+	return s.beta * (s.propLik - s.logLik)
+}
+
+// accept resolves the pending proposal as the new current state.
+func (s *chainState) accept() {
+	if s.pending {
+		s.staged.Commit()
+		s.pending = false
+	}
+	s.cur, s.prop = s.prop, s.cur
+	s.logLik = s.propLik
+	s.ages = s.cur.CoalescentAgesInto(s.ages)
+	s.stat = sumKKTFromAges(s.cur.NTips(), s.ages)
+}
+
+// reject drops the pending proposal; the cache is untouched.
+func (s *chainState) reject() {
+	if s.pending {
+		s.staged.Discard()
+		s.pending = false
+	}
+}
+
+// step performs one full Metropolis step at driving value theta: propose,
+// draw the accept decision against the tempered likelihood ratio, resolve.
+// A resimulation failure counts as a rejection-with-error; the caller
+// decides whether that is fatal (MH) or a skipped move (ladder rungs).
+func (s *chainState) step(theta float64, src rng.Source) (bool, error) {
+	if err := s.propose(theta, src); err != nil {
+		return false, err
+	}
+	if logr := s.logAcceptRatio(); logr >= 0 || src.Float64() < math.Exp(logr) {
+		s.accept()
+		return true, nil
+	}
+	s.reject()
+	return false, nil
+}
+
+// recorder appends chain draws to a SampleSet, copying age vectors into
+// one flat arena carved a record at a time — recorded draws never alias a
+// live chain buffer or each other's backing arrays.
+type recorder struct {
+	set   *SampleSet
+	arena []float64
+	nAges int
+}
+
+// newRecorder sizes a SampleSet and its age arena for a run of
+// cfg.Burnin+cfg.Samples draws over nTips-tip genealogies.
+func newRecorder(nTips int, cfg ChainConfig) *recorder {
+	total := cfg.Burnin + cfg.Samples
+	nAges := nTips - 1
+	return &recorder{
+		set: &SampleSet{
+			NTips:  nTips,
+			Theta0: cfg.Theta,
+			Burnin: cfg.Burnin,
+			Stats:  make([]float64, 0, total),
+			Ages:   make([][]float64, 0, total),
+			LogLik: make([]float64, 0, total),
+		},
+		arena: make([]float64, total*nAges),
+		nAges: nAges,
+	}
+}
+
+// record appends one draw, copying ages out of the caller's buffer.
+func (r *recorder) record(stat float64, ages []float64, logLik float64) {
+	rec := r.arena[:r.nAges:r.nAges]
+	r.arena = r.arena[r.nAges:]
+	copy(rec, ages)
+	r.set.Stats = append(r.set.Stats, stat)
+	r.set.Ages = append(r.set.Ages, rec)
+	r.set.LogLik = append(r.set.LogLik, logLik)
+}
+
+// recordState appends the chain's current state.
+func (r *recorder) recordState(s *chainState) {
+	r.record(s.stat, s.ages, s.logLik)
+}

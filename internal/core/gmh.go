@@ -79,6 +79,12 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 
 	host := seedSource(cfg.Seed, 2)
 	streams := rng.NewStreamSet(n, cfg.Seed^0x9e3779b97f4a7c15)
+	// One resimulation scratch per stream: the proposal kernel's region
+	// analysis reuses it every round, so draws allocate nothing.
+	scratches := make([]*resim.Scratch, n)
+	for i := range scratches {
+		scratches[i] = resim.NewScratch()
+	}
 
 	// Proposal set: slot 0 holds the current state, slots 1..N the new
 	// candidates. All slots — trees, weights, statistics and age buffers —
@@ -110,19 +116,11 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 	stats[cur] = sumKKTFromAges(init.NTips(), ages[cur])
 
 	total := cfg.Burnin + cfg.Samples
-	out := &SampleSet{
-		NTips:  init.NTips(),
-		Theta0: cfg.Theta,
-		Burnin: cfg.Burnin,
-		Stats:  make([]float64, 0, total),
-		Ages:   make([][]float64, 0, total),
-		LogLik: make([]float64, 0, total),
-	}
+	// Recorded draws copy their age vector out of the slot buffers into
+	// the recorder's flat arena, carved one record at a time.
+	rec := newRecorder(init.NTips(), cfg)
+	out := rec.set
 	res := &Result{Samples: out}
-
-	// Recorded draws copy their age vector out of the slot buffers into a
-	// single flat arena, carved one record at a time.
-	arena := make([]float64, total*nAges)
 
 	// Proposal kernel: one device thread per candidate (§5.2.1). The
 	// thread owning the current state stays idle, exactly as the paper
@@ -134,7 +132,7 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 		i := slots[tid]
 		p := set[i]
 		p.CopyFrom(set[cur])
-		if err := resim.Resimulate(p, phi, cfg.Theta, streams.Stream(tid)); err != nil {
+		if err := resim.ResimulateScratch(p, phi, cfg.Theta, streams.Stream(tid), scratches[tid]); err != nil {
 			// A numerically impossible region: the candidate gets zero
 			// weight and can never be sampled; the round proceeds.
 			errs[tid] = err
@@ -143,6 +141,11 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 		}
 		errs[tid] = nil
 		if cache != nil {
+			// Read-only delta evaluation: with N candidates a round and
+			// at most one winner, evaluating without staging and paying
+			// one incremental RebaseTo for the chosen slot is cheaper
+			// than staging all N (the single-proposal engine chains make
+			// the opposite trade through StageDelta).
 			logw[i] = g.eval.LogLikelihoodDelta(cache, p)
 		} else {
 			logw[i] = g.eval.LogLikelihood(p)
@@ -178,12 +181,7 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 				res.Accepted++
 			}
 			last = idx
-			rec := arena[:nAges:nAges]
-			arena = arena[nAges:]
-			copy(rec, ages[idx])
-			out.Stats = append(out.Stats, stats[idx])
-			out.Ages = append(out.Ages, rec)
-			out.LogLik = append(out.LogLik, logw[idx])
+			rec.record(stats[idx], ages[idx], logw[idx])
 		}
 		if last != cur {
 			cur = last

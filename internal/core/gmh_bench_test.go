@@ -11,10 +11,10 @@ import (
 
 // BenchmarkGMHRound times full GMH sampling rounds (8 proposals, 8 draws
 // per round) on the paper's Table 1 workload. allocs/op is the headline:
-// the GMH round loop and the delta likelihood path allocate nothing, so
-// what remains is per-Run setup plus the resimulation kernel's region
-// analysis — a cost the serial baseline pays identically per draw
-// (verified by memory profile; ~84% of objects are resim.buildRegion).
+// the GMH round loop, the delta likelihood path and — since the per-stream
+// resim.Scratch — the resimulation kernel's region analysis all allocate
+// nothing, so what remains is per-Run setup (slot trees, caches, streams,
+// scratches), a fixed cost amortized over the chain length.
 func BenchmarkGMHRound(b *testing.B) {
 	aln, _, err := seqgen.SimulateData(12, 200, 1.0, 20160401)
 	if err != nil {

@@ -7,7 +7,6 @@ import (
 	"mpcgs/internal/device"
 	"mpcgs/internal/felsen"
 	"mpcgs/internal/gtree"
-	"mpcgs/internal/resim"
 	"mpcgs/internal/rng"
 )
 
@@ -18,6 +17,13 @@ import (
 // chains propose state swaps. Hot chains traverse likelihood valleys that
 // trap the cold chain, and the swap moves ferry good states down the
 // ladder. Only the cold chain's draws are recorded.
+//
+// Every rung is one chain-engine state on the persistent device pool: one
+// PRNG stream, one resimulation scratch, and one conditional-likelihood
+// cache per rung, so each within-chain step delta-evaluates only the
+// resimulated neighbourhood — the long-chain workload where incremental
+// evaluation compounds. Swaps exchange whole rung states (trees together
+// with their caches), so no cache ever needs rebasing after a swap.
 //
 // MC³ parallelizes across the ladder, but like the independent-chains
 // approach it cannot parallelize burn-in below one chain's length — the
@@ -36,6 +42,10 @@ type Heated struct {
 	// attempts. Zero selects 1 (a swap attempt every step, LAMARC's
 	// default behaviour).
 	SwapEvery int
+	// SerialEval makes every rung re-evaluate proposals from scratch, the
+	// pre-engine behaviour kept as the equivalence-test oracle and for
+	// benchmarking the delta path's per-step advantage.
+	SerialEval bool
 }
 
 // NewHeated builds an MC³ sampler with the given ladder size.
@@ -86,75 +96,54 @@ func (h *Heated) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 	host := seedSource(cfg.Seed, 5)
 	streams := rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f)
 
-	cur := make([]*gtree.Tree, p)
-	prop := make([]*gtree.Tree, p)
-	logL := make([]float64, p)
-	for i := range cur {
-		cur[i] = init.Clone()
-		prop[i] = init.Clone()
+	// One engine state per rung: tree pair, delta cache, resimulation
+	// scratch and tempering exponent, driven by the rung's own stream.
+	// The shared starting tree is evaluated once and replicated.
+	states := newChainLadder(h.eval, init, h.SerialEval, p)
+	for i := range states {
+		states[i].beta = betas[i]
 	}
-	logL0 := h.eval.LogLikelihoodSerial(init)
-	for i := range logL {
-		logL[i] = logL0
+
+	rec := newRecorder(init.NTips(), cfg)
+	res := &Result{Samples: rec.set}
+	accepted := make([]bool, p)
+
+	// One tempered MH step per rung, in parallel across the ladder on the
+	// persistent pool. Each rung owns its stream, state and scratch, so
+	// results are deterministic regardless of scheduling; the closure is
+	// built once and reused by every launch. A rung whose resimulation
+	// lands in an infeasible region simply skips the move.
+	kernel := func(i int) {
+		acc, _ := states[i].step(cfg.Theta, streams.Stream(i))
+		accepted[i] = acc
 	}
 
 	total := cfg.Burnin + cfg.Samples
-	out := &SampleSet{
-		NTips:  init.NTips(),
-		Theta0: cfg.Theta,
-		Burnin: cfg.Burnin,
-		Stats:  make([]float64, 0, total),
-		Ages:   make([][]float64, 0, total),
-		LogLik: make([]float64, 0, total),
-	}
-	res := &Result{Samples: out}
-	accepted := make([]bool, p)
-
 	for step := 0; step < total; step++ {
-		// One tempered MH step per chain, in parallel across the ladder.
-		// Each chain owns its PRNG stream, so results are deterministic
-		// regardless of scheduling.
-		h.dev.Launch(p, func(i int) {
-			src := streams.Stream(i)
-			target := resim.PickTarget(cur[i], src)
-			prop[i].CopyFrom(cur[i])
-			if err := resim.Resimulate(prop[i], target, cfg.Theta, src); err != nil {
-				accepted[i] = false
-				return
-			}
-			pl := h.eval.LogLikelihoodSerial(prop[i])
-			logr := betas[i] * (pl - logL[i])
-			if logr >= 0 || src.Float64() < math.Exp(logr) {
-				cur[i], prop[i] = prop[i], cur[i]
-				logL[i] = pl
-				accepted[i] = true
-			} else {
-				accepted[i] = false
-			}
-		})
+		h.dev.Launch(p, kernel)
 		res.Proposals += p
 		if accepted[0] {
 			res.Accepted++
 		}
 
 		// Swap attempt between a random adjacent pair (serial, cheap).
+		// Accepted swaps exchange the whole rung states and re-pin the
+		// tempering exponents to the ladder positions: the trees move,
+		// the temperatures stay.
 		if p > 1 && step%swapEvery == 0 {
 			i := rng.Intn(host, p-1)
 			j := i + 1
-			logr := (betas[i] - betas[j]) * (logL[j] - logL[i])
+			logr := (betas[i] - betas[j]) * (states[j].logLik - states[i].logLik)
 			if logr >= 0 || host.Float64() < math.Exp(logr) {
-				cur[i], cur[j] = cur[j], cur[i]
-				logL[i], logL[j] = logL[j], logL[i]
+				states[i], states[j] = states[j], states[i]
+				states[i].beta, states[j].beta = betas[i], betas[j]
 				res.Swaps++
 			}
 			res.SwapAttempts++
 		}
 
-		ages := cur[0].CoalescentAges()
-		out.Stats = append(out.Stats, sumKKTFromAges(out.NTips, ages))
-		out.Ages = append(out.Ages, ages)
-		out.LogLik = append(out.LogLik, logL[0])
+		rec.recordState(states[0])
 	}
-	res.Final = cur[0].Clone()
+	res.Final = states[0].cur.Clone()
 	return res, nil
 }

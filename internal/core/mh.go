@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"mpcgs/internal/felsen"
 	"mpcgs/internal/gtree"
-	"mpcgs/internal/resim"
 )
 
 // MH is the serial single-chain Metropolis-Hastings sampler implementing
@@ -15,13 +13,22 @@ import (
 // probability min(1, P(D|G')/P(D|G)) — the prior terms cancel out of the
 // ratio exactly as in Eq. 28 because the proposal density is proportional
 // to the prior.
+//
+// The step loop runs on the shared chain engine: proposals are
+// delta-evaluated against the chain's conditional-likelihood cache, so
+// per-step work is proportional to the resimulated neighbourhood rather
+// than the whole genealogy, and nothing is allocated per step.
 type MH struct {
 	eval *felsen.Evaluator
+	// SerialEval selects the LAMARC reference mode: every proposal pays a
+	// full from-scratch likelihood evaluation, exactly what the reference
+	// package does. This is the single-processor baseline of the paper's
+	// speedup measurements (§6) and the oracle the delta path's
+	// equivalence tests compare against; leave it false for estimation.
+	SerialEval bool
 }
 
 // NewMH builds the baseline sampler over the given likelihood evaluator.
-// The evaluator's serial path is always used: this sampler is the
-// single-processor reference of every speedup measurement.
 func NewMH(eval *felsen.Evaluator) *MH { return &MH{eval: eval} }
 
 // Name implements Sampler.
@@ -39,42 +46,22 @@ func (m *MH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 		return nil, fmt.Errorf("core: sampler needs at least 3 sequences, got %d", init.NTips())
 	}
 	src := seedSource(cfg.Seed, 1)
-
-	cur := init.Clone()
-	prop := init.Clone()
-	curLL := m.eval.LogLikelihoodSerial(cur)
+	st := newChainState(m.eval, init, m.SerialEval)
+	rec := newRecorder(init.NTips(), cfg)
+	res := &Result{Samples: rec.set}
 
 	total := cfg.Burnin + cfg.Samples
-	set := &SampleSet{
-		NTips:  init.NTips(),
-		Theta0: cfg.Theta,
-		Burnin: cfg.Burnin,
-		Stats:  make([]float64, 0, total),
-		Ages:   make([][]float64, 0, total),
-		LogLik: make([]float64, 0, total),
-	}
-	res := &Result{Samples: set}
-
-	curAges := cur.CoalescentAges()
 	for step := 0; step < total; step++ {
-		target := resim.PickTarget(cur, src)
-		prop.CopyFrom(cur)
-		if err := resim.Resimulate(prop, target, cfg.Theta, src); err != nil {
+		accepted, err := st.step(cfg.Theta, src)
+		if err != nil {
 			return nil, fmt.Errorf("core: proposal failed at step %d: %w", step, err)
 		}
 		res.Proposals++
-		propLL := m.eval.LogLikelihoodSerial(prop)
-		logr := propLL - curLL
-		if logr >= 0 || src.Float64() < math.Exp(logr) {
-			cur, prop = prop, cur
-			curLL = propLL
-			curAges = cur.CoalescentAges()
+		if accepted {
 			res.Accepted++
 		}
-		set.Stats = append(set.Stats, sumKKTFromAges(set.NTips, curAges))
-		set.Ages = append(set.Ages, curAges)
-		set.LogLik = append(set.LogLik, curLL)
+		rec.recordState(st)
 	}
-	res.Final = cur
+	res.Final = st.cur
 	return res, nil
 }

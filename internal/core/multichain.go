@@ -13,11 +13,20 @@ import (
 // each paying its own full burn-in, with the post-burn-in samples pooled.
 // Total work is P·B + S for S pooled samples, so by Amdahl's law the
 // speedup over a single chain saturates at (B+S)/B no matter how many
-// processors are added — the motivation for the GMH sampler.
+// processors are added — the motivation for the GMH sampler. Each chain
+// is a delta-evaluated engine chain (with its own likelihood cache and
+// resimulation scratch) unless SerialEval restores the reference mode;
+// cheaper steps do not change the Amdahl argument, which is about burn-in
+// replication, not per-step cost.
 type MultiChain struct {
 	eval   *felsen.Evaluator
 	dev    *device.Device
 	Chains int
+	// SerialEval runs every chain in the LAMARC reference mode (full
+	// per-step likelihood recomputation) instead of the chain engine's
+	// delta evaluation — the historical measurement the Fig. 6 timings
+	// are defined against.
+	SerialEval bool
 }
 
 // NewMultiChain builds the P-independent-chains baseline on dev.
@@ -47,6 +56,7 @@ func (m *MultiChain) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 	errs := make([]error, p)
 	m.dev.Launch(p, func(chain int) {
 		sub := NewMH(m.eval)
+		sub.SerialEval = m.SerialEval
 		results[chain], errs[chain] = sub.Run(init, ChainConfig{
 			Theta:   cfg.Theta,
 			Burnin:  cfg.Burnin,

@@ -194,7 +194,12 @@ func speedupPoint(param int, aln *phylip.Alignment, burnin, samples int, c Commo
 		return SpeedupPoint{}, err
 	}
 	theta := 1.0
-	tSerial, err := timedRun(core.NewMH(evalSerial), aln, theta, burnin, samples, c.seed()+3)
+	// The serial baseline is the LAMARC reference: a full from-scratch
+	// likelihood per step, like the package the paper compares against.
+	// (The engine's delta-evaluated MH is the fast default elsewhere.)
+	lamarc := core.NewMH(evalSerial)
+	lamarc.SerialEval = true
+	tSerial, err := timedRun(lamarc, aln, theta, burnin, samples, c.seed()+3)
 	if err != nil {
 		return SpeedupPoint{}, err
 	}
@@ -412,6 +417,7 @@ func MultichainEfficiency(c Common) ([]MultichainPoint, error) {
 			return MultichainPoint{}, err
 		}
 		mc := core.NewMultiChain(evalSerial, dev, p)
+		mc.SerialEval = true // the historical LAMARC-chain measurement
 		tMC, err := timedRun(mc, aln, 1.0, burnin, samples, c.seed()+31)
 		if err != nil {
 			return MultichainPoint{}, err

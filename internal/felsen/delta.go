@@ -19,8 +19,15 @@ package felsen
 //     per evaluator; conditionals are computed per pattern and the per-
 //     pattern log-likelihoods enter the total with their multiplicities.
 //     This is an exact transformation of the sum over sites.
-//   - Tip conditionals are never stored: they are regenerated from the
-//     packed pattern codes at use, so the cache holds interior nodes only.
+//   - Tip conditionals never enter the cache: they are immutable for the
+//     evaluator's lifetime, so they live once in a shared per-tip pattern
+//     table (Evaluator.tipCell) and the cache holds interior nodes only.
+//
+// All conditional storage — the cache, the tip table and the scratch — is
+// node-major: one node's cells for every pattern lie contiguously, the
+// memory-coalescing layout the paper arranges for its device buffers. The
+// kernel walks the dirty nodes bottom-up and streams over each node's
+// pattern row, so every load and store is sequential.
 //
 // Within every recomputed node the arithmetic is identical to the full
 // serial evaluation; only the summation over sites is reassociated (by
@@ -38,8 +45,8 @@ import (
 )
 
 // cell is one cached conditional: the likelihood vector and its
-// accumulated rescaling log, packed together so a clean-node lookup
-// touches one contiguous 40-byte record.
+// accumulated rescaling log, packed together so a node lookup touches one
+// contiguous 40-byte record.
 type cell struct {
 	p [4]float64
 	s float64
@@ -51,7 +58,7 @@ type cell struct {
 // and read concurrently by any number of LogLikelihoodDelta calls.
 type DeltaCache struct {
 	base *gtree.Tree
-	// cells is pattern-major: entry [pat*nInterior + (node - nTips)].
+	// cells is node-major: entry [(node-nTips)*nPatterns + pat].
 	cells  []cell
 	logLik float64
 	valid  bool
@@ -59,14 +66,17 @@ type DeltaCache struct {
 
 // deltaScratch is the pooled working memory of one delta evaluation: the
 // dirty marking, the changed nodes in bottom-up order, fresh transition
-// matrices for changed edges, and one pattern's worth of recomputed
-// conditionals.
+// matrices for changed edges, and the recomputed rows.
 type deltaScratch struct {
-	dirty    []bool
-	order    []int
-	mats     []subst.Matrix // indexed by child node, like scratch.mats
-	partials [][4]float64   // per-node, reused across patterns
-	scale    []float64
+	dirty []bool
+	order []int
+	pos   []int          // node -> index into order, valid for dirty nodes
+	mats  []subst.Matrix // indexed by child node, like scratch.mats
+	// cells holds the recomputed conditionals of evaluations that do not
+	// write through to the cache, node-major like the cache itself: entry
+	// [pos[node]*nPatterns + pat]. Grown on demand and reused; a staged
+	// commit copies these rows into the cache verbatim.
+	cells []cell
 }
 
 // NewDeltaCache allocates an empty cache sized for the evaluator's
@@ -77,15 +87,23 @@ func (e *Evaluator) NewDeltaCache() *DeltaCache {
 	return &DeltaCache{cells: make([]cell, nInt*e.nPatterns)}
 }
 
-// tipPartialInto regenerates a tip's conditional vector for a pattern
-// from the packed pattern codes.
-func (e *Evaluator) tipPartialInto(tip, pat int, v *[4]float64) {
-	if code := e.patBase[tip][pat]; code < 4 {
-		*v = [4]float64{}
-		v[code] = 1
-	} else {
-		*v = [4]float64{1, 1, 1, 1}
+// CopyFrom makes c an exact copy of src: same base tree, conditionals and
+// log-likelihood. Both caches must belong to the same evaluator. It backs
+// ladder construction, where every chain starts at one tree and a single
+// evaluation is replicated instead of repeated per rung.
+func (c *DeltaCache) CopyFrom(src *DeltaCache) {
+	if !src.valid {
+		c.valid = false
+		return
 	}
+	if c.base == nil {
+		c.base = src.base.Clone()
+	} else {
+		c.base.CopyFrom(src.base)
+	}
+	copy(c.cells, src.cells)
+	c.logLik = src.logLik
+	c.valid = true
 }
 
 // Rebase fully evaluates t over the site patterns, stores every interior
@@ -154,6 +172,78 @@ func (e *Evaluator) RebaseTo(c *DeltaCache, t *gtree.Tree) float64 {
 	return total
 }
 
+// DeltaEval is one staged incremental evaluation: the proposal's
+// log-likelihood plus the recomputed conditionals, held aside so the
+// caller can decide the move first and then settle the cache for free in
+// either direction — Commit writes the staged rows in (accept) and
+// Discard drops them (reject), neither re-evaluating anything. It is a
+// value type: keep it in a reusable field and exactly one of Commit or
+// Discard must be called before the next StageDelta against the same
+// cache. Staged evaluations hold pooled scratch, so they must not be kept
+// across unrelated evaluator calls.
+type DeltaEval struct {
+	e      *Evaluator
+	c      *DeltaCache
+	t      *gtree.Tree
+	ds     *deltaScratch // nil when nothing differed from the base
+	logLik float64
+}
+
+// StageDelta evaluates t against the cache like LogLikelihoodDelta but
+// keeps the recomputed conditionals staged for a later Commit. Staging
+// only reads the cache, so any number of StageDelta/LogLikelihoodDelta
+// calls may run concurrently against one cache — the multiple-proposal
+// kernel stages its whole set in parallel. Commit, like RebaseTo, must be
+// exclusive: resolve every staged evaluation before the next round reads
+// the cache.
+func (e *Evaluator) StageDelta(c *DeltaCache, t *gtree.Tree) DeltaEval {
+	if !c.valid {
+		panic("felsen: StageDelta on cache with no base; call Rebase first")
+	}
+	ds := e.deltaPool.Get().(*deltaScratch)
+	e.diffDirty(c.base, t, ds)
+	if len(ds.order) == 0 {
+		e.deltaPool.Put(ds)
+		return DeltaEval{e: e, c: c, t: t, logLik: c.logLik}
+	}
+	total := e.evalDelta(c, t, ds, false)
+	return DeltaEval{e: e, c: c, t: t, ds: ds, logLik: total}
+}
+
+// LogLik returns the staged evaluation's log P(D|G).
+func (d *DeltaEval) LogLik() float64 { return d.logLik }
+
+// Commit writes the staged conditionals into the cache and makes the
+// evaluated tree the cache's new base: the accept path of a chain step,
+// costing one row copy per recomputed node instead of a re-evaluation
+// (RebaseTo's price). The evaluated tree must not have been mutated since
+// StageDelta.
+func (d *DeltaEval) Commit() {
+	ds := d.ds
+	if ds == nil {
+		return // nothing differed from the base
+	}
+	nTips := d.t.NTips()
+	nPat := d.e.nPatterns
+	for k, node := range ds.order {
+		copy(d.c.cells[(node-nTips)*nPat:(node-nTips+1)*nPat], ds.cells[k*nPat:(k+1)*nPat])
+	}
+	d.c.base.CopyFrom(d.t)
+	d.c.logLik = d.logLik
+	d.e.deltaPool.Put(ds)
+	d.ds = nil
+}
+
+// Discard releases the staged evaluation without touching the cache: the
+// reject path of a chain step. Rejection costs nothing — the cache never
+// saw the proposal.
+func (d *DeltaEval) Discard() {
+	if d.ds != nil {
+		d.e.deltaPool.Put(d.ds)
+		d.ds = nil
+	}
+}
+
 // diffDirty marks every node of t whose conditional likelihoods differ
 // from the cached base: interior nodes whose age or (unordered) child set
 // changed, plus all their ancestors in t. ds.order receives the marked
@@ -196,12 +286,14 @@ func sortByAge(t *gtree.Tree, order []int) {
 	}
 }
 
-// evalDelta recomputes the dirty nodes across all patterns, reading clean
-// conditionals from the cache and regenerating tip conditionals from the
-// pattern codes. With writeBack it stores the recomputed rows into the
-// cache (safe because children are processed before parents within each
-// pattern); otherwise the cache is untouched. The per-node arithmetic
-// mirrors siteLogLikelihoodIter exactly.
+// evalDelta recomputes the dirty nodes' pattern rows bottom-up, reading
+// clean conditionals from the cache and tip conditionals from the shared
+// tip table. With writeBack the recomputed rows go straight into the
+// cache (safe because children are processed before parents); otherwise
+// they go into the scratch rows, from where a DeltaEval can commit them
+// later without re-evaluating. The per-node arithmetic mirrors
+// siteLogLikelihoodIter exactly; only the loop order differs (node-outer,
+// streaming each node's contiguous row).
 func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, writeBack bool) float64 {
 	// Fresh transition matrices for every edge below a changed node: these
 	// are the only edges whose lengths can differ from the base (an edge
@@ -215,72 +307,79 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 		}
 	}
 	nTips := t.NTips()
-	nInt := t.NInterior()
-	var tipBuf [2][4]float64
-	total := 0.0
-	for pat := 0; pat < e.nPatterns; pat++ {
-		row := pat * nInt
-		for _, node := range ds.order {
-			nd := &t.Nodes[node]
-			c0, c1 := nd.Child[0], nd.Child[1]
-			var l, r *[4]float64
-			ls, rs := 0.0, 0.0
-			switch {
-			case c0 < nTips:
-				e.tipPartialInto(c0, pat, &tipBuf[0])
-				l = &tipBuf[0]
-			case ds.dirty[c0]:
-				l, ls = &ds.partials[c0], ds.scale[c0]
-			default:
-				cc := &c.cells[row+c0-nTips]
-				l, ls = &cc.p, cc.s
-			}
-			switch {
-			case c1 < nTips:
-				e.tipPartialInto(c1, pat, &tipBuf[1])
-				r = &tipBuf[1]
-			case ds.dirty[c1]:
-				r, rs = &ds.partials[c1], ds.scale[c1]
-			default:
-				cc := &c.cells[row+c1-nTips]
-				r, rs = &cc.p, cc.s
-			}
-			m0, m1 := &ds.mats[c0], &ds.mats[c1]
-			out := &ds.partials[node]
+	nPat := e.nPatterns
+	if !writeBack {
+		if need := len(ds.order) * nPat; cap(ds.cells) < need {
+			ds.cells = make([]cell, need)
+		} else {
+			ds.cells = ds.cells[:need]
+		}
+		for k, node := range ds.order {
+			ds.pos[node] = k
+		}
+	}
+	// row returns a node's conditional cells for all patterns: the shared
+	// tip table for tips, the scratch rows for already-recomputed dirty
+	// nodes (write-through evaluations keep those in the cache itself),
+	// and the cache for clean interior nodes.
+	row := func(node int) []cell {
+		switch {
+		case node < nTips:
+			return e.tipCell[node*nPat : (node+1)*nPat]
+		case ds.dirty[node] && !writeBack:
+			k := ds.pos[node]
+			return ds.cells[k*nPat : (k+1)*nPat]
+		default:
+			return c.cells[(node-nTips)*nPat : (node-nTips+1)*nPat]
+		}
+	}
+	for k, node := range ds.order {
+		nd := &t.Nodes[node]
+		c0, c1 := nd.Child[0], nd.Child[1]
+		lrow, rrow := row(c0), row(c1)
+		var out []cell
+		if writeBack {
+			out = c.cells[(node-nTips)*nPat : (node-nTips+1)*nPat]
+		} else {
+			out = ds.cells[k*nPat : (k+1)*nPat]
+		}
+		m0, m1 := &ds.mats[c0], &ds.mats[c1]
+		for pat := 0; pat < nPat; pat++ {
+			l, r := &lrow[pat], &rrow[pat]
+			o := &out[pat]
 			maxv := 0.0
 			for x := 0; x < 4; x++ {
-				s0 := m0[x][0]*l[0] + m0[x][1]*l[1] + m0[x][2]*l[2] + m0[x][3]*l[3]
-				s1 := m1[x][0]*r[0] + m1[x][1]*r[1] + m1[x][2]*r[2] + m1[x][3]*r[3]
-				out[x] = s0 * s1
-				if out[x] > maxv {
-					maxv = out[x]
+				s0 := m0[x][0]*l.p[0] + m0[x][1]*l.p[1] + m0[x][2]*l.p[2] + m0[x][3]*l.p[3]
+				s1 := m1[x][0]*r.p[0] + m1[x][1]*r.p[1] + m1[x][2]*r.p[2] + m1[x][3]*r.p[3]
+				o.p[x] = s0 * s1
+				if o.p[x] > maxv {
+					maxv = o.p[x]
 				}
 			}
-			sc := ls + rs
+			sc := l.s + r.s
 			if maxv < rescaleThreshold && maxv > 0 {
 				inv := 1 / maxv
 				for x := 0; x < 4; x++ {
-					out[x] *= inv
+					o.p[x] *= inv
 				}
 				sc += math.Log(maxv)
 			}
-			ds.scale[node] = sc
-			if writeBack {
-				cc := &c.cells[row+node-nTips]
-				cc.p = *out
-				cc.s = sc
-			}
+			o.s = sc
 		}
-		// The root is always dirty here: diffDirty marks every changed
-		// node's full ancestor path.
-		rootP := &ds.partials[t.Root]
-		rootScale := ds.scale[t.Root]
-		siteL := e.freqs[0]*rootP[0] + e.freqs[1]*rootP[1] + e.freqs[2]*rootP[2] + e.freqs[3]*rootP[3]
+	}
+	// Root contraction with the prior frequencies (Eq. 21), per pattern.
+	// The root is always dirty here: diffDirty marks every changed node's
+	// full ancestor path.
+	rootRow := row(t.Root)
+	total := 0.0
+	for pat := 0; pat < nPat; pat++ {
+		rc := &rootRow[pat]
+		siteL := e.freqs[0]*rc.p[0] + e.freqs[1]*rc.p[1] + e.freqs[2]*rc.p[2] + e.freqs[3]*rc.p[3]
 		if siteL <= 0 {
 			total += logspace.NegInf
 			continue
 		}
-		total += e.patCount[pat] * (math.Log(siteL) + rootScale)
+		total += e.patCount[pat] * (math.Log(siteL) + rc.s)
 	}
 	return total
 }

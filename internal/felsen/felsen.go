@@ -46,10 +46,14 @@ type Evaluator struct {
 	// Site-pattern compression for the delta path (see delta.go): distinct
 	// alignment columns, their multiplicities, and per-tip base codes
 	// (0..3, 4 = missing) — the immutable data the paper parks in constant
-	// memory (§4.4).
+	// memory (§4.4). tipCell additionally materializes every tip's
+	// conditional cells per pattern (node-major, [tip*nPatterns+pat], zero
+	// rescale log), immutable for the evaluator's lifetime, so the delta
+	// kernel reads tip conditionals instead of regenerating them.
 	nPatterns int
 	patCount  []float64
 	patBase   [][]uint8
+	tipCell   []cell
 }
 
 type scratch struct {
@@ -100,11 +104,10 @@ func New(model subst.Model, aln *phylip.Alignment, dev *device.Device) (*Evaluat
 	}
 	e.deltaPool.New = func() any {
 		return &deltaScratch{
-			dirty:    make([]bool, nNodes),
-			order:    make([]int, 0, nNodes),
-			mats:     make([]subst.Matrix, nNodes),
-			partials: make([][4]float64, nNodes),
-			scale:    make([]float64, nNodes),
+			dirty: make([]bool, nNodes),
+			order: make([]int, 0, nNodes),
+			pos:   make([]int, nNodes),
+			mats:  make([]subst.Matrix, nNodes),
 		}
 	}
 	e.compressPatterns()
@@ -140,6 +143,17 @@ func (e *Evaluator) compressPatterns() {
 		e.patCount = append(e.patCount, 1)
 		for i := range e.patBase {
 			e.patBase[i] = append(e.patBase[i], key[i])
+		}
+	}
+	e.tipCell = make([]cell, nSeqs*e.nPatterns)
+	for i := range e.patBase {
+		for pat, code := range e.patBase[i] {
+			v := &e.tipCell[i*e.nPatterns+pat]
+			if code < 4 {
+				v.p[code] = 1
+			} else {
+				v.p = [4]float64{1, 1, 1, 1}
+			}
 		}
 	}
 }

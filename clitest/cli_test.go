@@ -201,6 +201,104 @@ func TestPaperbenchBurninExperiment(t *testing.T) {
 	}
 }
 
+func TestMpcgsBatchManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	dir := t.TempDir()
+	makeData := func(name string, mssimSeed, seqgenSeed string) string {
+		trees := run(t, "mssim", "", "-seed", mssimSeed, "8", "1")
+		phy := run(t, "seqgen", trees, "-l", "120", "-seed", seqgenSeed)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	makeData("a.phy", "31", "32")
+	makeData("b.phy", "33", "34")
+	manifest := `{
+  "defaults": {"theta": 1.0, "burnin": 100, "samples": 800, "em_iterations": 1, "seed": 7},
+  "jobs": [
+    {"name": "a", "phylip": "a.phy"},
+    {"name": "b", "phylip": "b.phy", "seed": 8}
+  ]
+}`
+	mpath := filepath.Join(dir, "batch.json")
+	if err := os.WriteFile(mpath, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "mpcgs", "", "-workers", "2", "-batch", mpath)
+	for _, want := range []string{"batch of 2 jobs", "job a", "job b", "theta = ", "2 ok, 0 failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The batch estimate must equal the standalone run of the same job:
+	// same data, seed, sampler settings and worker count.
+	solo := run(t, "mpcgs", "", "-q", "-workers", "2",
+		"-burnin", "100", "-samples", "800", "-em-iterations", "1", "-seed", "7",
+		filepath.Join(dir, "a.phy"), "1.0")
+	soloTheta := ""
+	for _, line := range strings.Split(solo, "\n") {
+		if rest, ok := strings.CutPrefix(line, "theta = "); ok {
+			soloTheta = strings.TrimSpace(rest)
+		}
+	}
+	if soloTheta == "" {
+		t.Fatalf("no standalone estimate:\n%s", solo)
+	}
+	batchTheta := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "job a") {
+			fields := strings.Fields(line)
+			// "job a theta = X (...)"
+			for i, f := range fields {
+				if f == "=" && i+1 < len(fields) {
+					batchTheta = fields[i+1]
+				}
+			}
+		}
+	}
+	if batchTheta != soloTheta {
+		t.Errorf("batch theta %q differs from standalone %q", batchTheta, soloTheta)
+	}
+}
+
+func TestMpcgsBatchRejectsBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"jobs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runExpectError(t, "mpcgs", "-batch", path)
+	runExpectError(t, "mpcgs", "-batch", filepath.Join(dir, "absent.json"))
+}
+
+func TestPaperbenchBatchExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	out := run(t, "paperbench", "", "-experiment", "batch", "-scale", "quick", "-workers", "2")
+	if !strings.Contains(out, "Batch mode: multi-tenant scheduler") || !strings.Contains(out, "speedup") {
+		t.Fatalf("batch experiment output unexpected:\n%s", out)
+	}
+}
+
+func TestPaperbenchGuardRefusesVacuousRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	// The burnin experiment measures no speedup points, so guarding it
+	// must fail loudly rather than pass a check of nothing.
+	out := runExpectError(t, "paperbench",
+		"-experiment", "burnin", "-scale", "quick", "-guard", "../EXPERIMENTS.md")
+	if !strings.Contains(out, "no measured point") {
+		t.Fatalf("vacuous guard run did not explain itself:\n%s", out)
+	}
+}
+
 // TestExamplesBuild keeps every example main compiling.
 func TestExamplesBuild(t *testing.T) {
 	cmd := exec.Command("go", "build", "-o", t.TempDir(), "./examples/...")

@@ -9,15 +9,29 @@
 // The sequence data must be PHYLIP-formatted; the initial θ estimate may
 // be any positive number — the estimator is designed to be insensitive to
 // it.
+//
+// Batch mode estimates many independent datasets in one process over a
+// single shared device pool (the multi-tenant scheduler):
+//
+//	mpcgs -batch jobs.json
+//
+// where jobs.json is a manifest of per-job phylip files and settings
+// (see internal/sched.Manifest for the format). Each job's result is
+// identical to running it standalone with the same seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"time"
 
 	"mpcgs"
+	"mpcgs/internal/device"
+	"mpcgs/internal/sched"
 )
 
 func main() {
@@ -33,13 +47,23 @@ func main() {
 		curve     = flag.Bool("curve", false, "print the relative log-likelihood curve")
 		growth    = flag.Bool("growth", false, "also estimate an exponential growth rate g")
 		bayesian  = flag.Bool("bayesian", false, "sample the posterior of theta instead of maximizing (LAMARC 2.0's Bayesian mode)")
+		batch     = flag.String("batch", "", "run a batch manifest of estimation jobs over one shared device pool instead of a single estimation")
 		quiet     = flag.Bool("q", false, "print only the final estimate")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpcgs [flags] <seqdata.phy> <initial-theta>\n\n")
+		fmt.Fprintf(os.Stderr, "usage: mpcgs [flags] <seqdata.phy> <initial-theta>\n")
+		fmt.Fprintf(os.Stderr, "       mpcgs [flags] -batch <manifest.json>\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *batch != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runBatch(*batch, *workers, *quiet)
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -112,6 +136,47 @@ func main() {
 		for i, x := range grid {
 			fmt.Printf("  %-12.5g %.4f\n", x, vals[i])
 		}
+	}
+}
+
+// runBatch is the manifest mode: every job in the manifest estimates its
+// own dataset, all of them multiplexed over one shared device pool by the
+// multi-tenant scheduler. Interrupting the process (SIGINT) cancels the
+// batch cleanly; jobs already finished keep their results.
+func runBatch(path string, workers int, quiet bool) {
+	jobs, err := sched.LoadManifest(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pool := device.NewPool(workers)
+	defer pool.Close()
+	if !quiet {
+		fmt.Printf("mpcgs: batch of %d jobs over %d shared workers\n", len(jobs), pool.Workers())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	results, err := sched.RunBatch(ctx, pool, jobs, sched.Options{})
+	wall := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpcgs: batch aborted: %v\n", err)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Printf("job %-16s FAILED: %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Printf("job %-16s theta = %-10.6g (%d EM iterations, %d steps)\n",
+			r.Name, r.Theta, len(r.History), r.Steps)
+	}
+	if !quiet {
+		fmt.Printf("batch: %d ok, %d failed in %.2fs (%.2f jobs/s)\n",
+			len(results)-failed, failed, wall.Seconds(), float64(len(results))/wall.Seconds())
+	}
+	if err != nil || failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -31,13 +31,19 @@ import (
 	"mpcgs/internal/stats"
 )
 
+// measuredSpeedups collects the speedup points of the §6 sweeps as they
+// run, so the -guard check can compare them against committed baselines.
+var measuredSpeedups = map[string][]experiments.SpeedupPoint{}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated experiments to run (accuracy, samples, sequences, seqlen, curve, burnin, multichain, proposalsize, nested, growth, all)")
-		scale      = flag.String("scale", "quick", "workload sizing: quick or paper")
-		workers    = flag.Int("workers", 0, "device parallelism (0 = all cores)")
-		seed       = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
-		mdPath     = flag.String("md", "", "also write the run's output to this Markdown file as a generated section")
+		experiment  = flag.String("experiment", "all", "comma-separated experiments to run (accuracy, samples, sequences, seqlen, curve, burnin, multichain, batch, proposalsize, nested, growth, all)")
+		scale       = flag.String("scale", "quick", "workload sizing: quick or paper")
+		workers     = flag.Int("workers", 0, "device parallelism (0 = all cores)")
+		seed        = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+		mdPath      = flag.String("md", "", "also write the run's output to this Markdown file as a generated section")
+		guardPath   = flag.String("guard", "", "compare measured §6 speedups against the baselines in this generated Markdown file (typically EXPERIMENTS.md) and exit non-zero below the floor")
+		guardFactor = flag.Float64("guard-factor", 0.7, "speedup floor as a fraction of the committed baseline (absorbs runner noise)")
 	)
 	flag.Parse()
 	c := experiments.Common{
@@ -53,13 +59,14 @@ func main() {
 		"curve":        runCurve,
 		"burnin":       runBurnin,
 		"multichain":   runMultichain,
+		"batch":        runBatch,
 		"proposalsize": runProposalSize,
 		"nested":       runNested,
 		"growth":       runGrowth,
 	}
 	order := []string{
 		"accuracy", "samples", "sequences", "seqlen", "curve", "burnin",
-		"multichain", "proposalsize", "nested", "growth",
+		"multichain", "batch", "proposalsize", "nested", "growth",
 	}
 	var names []string
 	if *experiment == "all" {
@@ -96,6 +103,37 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *mdPath)
 	}
+	if *guardPath != "" {
+		runGuard(*guardPath, *guardFactor)
+	}
+}
+
+// runGuard is the CI speedup-guard: it compares this run's measured §6
+// speedup points against the baselines committed in a generated
+// EXPERIMENTS.md and exits non-zero if any point fell below
+// baseline × factor. A run that measured nothing comparable also fails —
+// a guard that checks zero points guards nothing.
+func runGuard(path string, factor float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("speedup-guard: %v", err)
+	}
+	defer f.Close()
+	base, err := experiments.ParseBaselines(f)
+	if err != nil {
+		fatalf("speedup-guard: %s: %v", path, err)
+	}
+	checked, violations := experiments.CheckSpeedupFloor(measuredSpeedups, base, factor)
+	if checked == 0 {
+		fatalf("speedup-guard: no measured point matched a baseline in %s (run the samples/sequences/seqlen experiments)", path)
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "speedup-guard: FAIL %s\n", v)
+	}
+	if len(violations) > 0 {
+		fatalf("speedup-guard: %d of %d points below the %.0f%% floor", len(violations), checked, factor*100)
+	}
+	fmt.Printf("speedup-guard: OK, %d points at or above %.0f%% of their %s baselines\n", checked, factor*100, path)
 }
 
 // writeMarkdown renders the captured run as a generated Markdown document:
@@ -177,6 +215,7 @@ func runSamples(w io.Writer, c experiments.Common) error {
 	if err != nil {
 		return err
 	}
+	measuredSpeedups["samples"] = pts
 	printSpeedup(w, "Table 2 / Figure 14: speedup vs number of genealogy samples",
 		"samples", pts, []float64{3.69, 3.8, 3.95, 4.19, 4.27, 4.32})
 	return nil
@@ -187,6 +226,7 @@ func runSequences(w io.Writer, c experiments.Common) error {
 	if err != nil {
 		return err
 	}
+	measuredSpeedups["sequences"] = pts
 	printSpeedup(w, "Table 3 / Figure 15: speedup vs number of sequences",
 		"sequences", pts, []float64{3.69, 3.41, 2.9, 2.78, 2.57, 2.43, 2.43, 2.83})
 	return nil
@@ -197,8 +237,25 @@ func runSeqLen(w io.Writer, c experiments.Common) error {
 	if err != nil {
 		return err
 	}
+	measuredSpeedups["seqlen"] = pts
 	printSpeedup(w, "Table 4 / Figure 16: speedup vs sequence length",
 		"bp", pts, []float64{3.69, 5.67, 7.86, 10.22, 12.63, 23.28})
+	return nil
+}
+
+func runBatch(w io.Writer, c experiments.Common) error {
+	fmt.Fprintln(w, "=== Batch mode: multi-tenant scheduler throughput vs back-to-back runs ===")
+	pts, err := experiments.BatchThroughput(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %-12s %-12s %-14s %-14s %-10s\n",
+		"jobs", "serial (s)", "batch (s)", "serial jobs/s", "batch jobs/s", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-6d %-12.3f %-12.3f %-14.2f %-14.2f %-10.2f\n",
+			p.Jobs, p.SerialSec, p.BatchSec, p.SerialJobsPerS, p.BatchJobsPerS, p.Speedup)
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

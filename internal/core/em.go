@@ -59,52 +59,160 @@ type EMResult struct {
 // iteration's final genealogy as its starting state, so later iterations
 // begin near the posterior and the burn-in cost is paid usefully.
 func RunEM(s Sampler, init *gtree.Tree, cfg EMConfig, dev *device.Device) (*EMResult, error) {
+	e, err := StartEM(s, init, cfg, dev)
+	if err != nil {
+		return nil, err
+	}
+	for !e.Done() {
+		if err := e.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return e.Result()
+}
+
+// EMRun is a step-driven EM estimation: the complete state of one job's
+// estimation, advanced one sampler transition at a time. It is the unit
+// the batch scheduler drives — many EMRuns interleave their steps over
+// one shared device pool, and because each run owns all of its state
+// (chain engine, PRNG streams, sample sets), a run's trajectory is
+// bit-identical however its steps are interleaved with other runs'.
+// RunEM is exactly StartEM driven to completion, so standalone and
+// scheduled estimations share one code path.
+type EMRun struct {
+	sampler Sampler
+	dev     *device.Device
+	cfg     EMConfig // defaults applied
+	cur     *gtree.Tree
+	theta   float64
+	it      int
+	active  Stepper // nil between iterations
+	res     *EMResult
+	done    bool
+	err     error
+}
+
+// StartEM validates the configuration and returns a step-driven
+// estimation positioned before its first sampler transition.
+func StartEM(s Sampler, init *gtree.Tree, cfg EMConfig, dev *device.Device) (*EMRun, error) {
 	c := cfg.withDefaults()
 	if c.InitialTheta <= 0 {
 		return nil, fmt.Errorf("core: initial theta %v must be positive", c.InitialTheta)
 	}
-	theta := c.InitialTheta
-	cur := init
-	res := &EMResult{}
-	for it := 0; it < c.Iterations; it++ {
-		run, err := s.Run(cur, ChainConfig{
-			Theta:   theta,
-			Burnin:  c.Burnin,
-			Samples: c.Samples,
-			Seed:    c.Seed + uint64(it)*0x9e3779b9,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: EM iteration %d: %w", it, err)
-		}
-		next, err := MaximizeTheta(run.Samples, c.MLE, dev)
-		if err != nil {
-			return nil, fmt.Errorf("core: EM iteration %d: %w", it, err)
-		}
-		lls := run.Samples.PostBurninLogLik()
-		meanLL := 0.0
-		for _, v := range lls {
-			meanLL += v
-		}
-		if len(lls) > 0 {
-			meanLL /= float64(len(lls))
-		}
-		res.History = append(res.History, EMIteration{
-			ThetaIn:        theta,
-			ThetaOut:       next,
-			AcceptanceRate: run.AcceptanceRate(),
-			MeanLogLik:     meanLL,
-		})
-		res.LastSet = run.Samples
-		res.FinalState = run.Final
-		cur = run.Final
-		moved := math.Abs(next-theta) / theta
-		theta = next
-		if moved < c.Tolerance {
-			break
-		}
+	return &EMRun{
+		sampler: s,
+		dev:     dev,
+		cfg:     c,
+		cur:     init,
+		theta:   c.InitialTheta,
+		res:     &EMResult{},
+	}, nil
+}
+
+// Step advances the estimation by one sampler transition; when the
+// transition completes an iteration's sampling pass, the same Step also
+// maximizes θ and positions the run at the next iteration (or marks it
+// done). A sampler that does not implement StepSampler runs its whole
+// pass in a single coarse Step. Errors are fatal: the run is marked done
+// and the error is also returned by Result.
+func (e *EMRun) Step() error {
+	if e.done {
+		return e.err
 	}
-	res.Theta = theta
-	return res, nil
+	if e.active == nil {
+		ss, ok := e.sampler.(StepSampler)
+		if !ok {
+			// Coarse fallback: one whole sampling pass per Step.
+			run, err := e.sampler.Run(e.cur, e.chainConfig())
+			if err != nil {
+				return e.fail(err)
+			}
+			return e.finishIteration(run)
+		}
+		run, err := ss.Start(e.cur, e.chainConfig())
+		if err != nil {
+			return e.fail(err)
+		}
+		e.active = run
+	}
+	if err := e.active.Step(); err != nil {
+		return e.fail(err)
+	}
+	if e.active.Done() {
+		run, err := e.active.Finish()
+		e.active = nil
+		if err != nil {
+			return e.fail(err)
+		}
+		return e.finishIteration(run)
+	}
+	return nil
+}
+
+// Done reports whether the estimation has converged, exhausted its
+// iteration budget, or failed.
+func (e *EMRun) Done() bool { return e.done }
+
+// Result returns the estimation outcome (or the error that ended it).
+func (e *EMRun) Result() (*EMResult, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.res, nil
+}
+
+// Theta returns the current driving value, for progress reporting.
+func (e *EMRun) Theta() float64 { return e.theta }
+
+// chainConfig derives the current iteration's sampling configuration,
+// decorrelating iterations exactly as RunEM always has.
+func (e *EMRun) chainConfig() ChainConfig {
+	return ChainConfig{
+		Theta:   e.theta,
+		Burnin:  e.cfg.Burnin,
+		Samples: e.cfg.Samples,
+		Seed:    e.cfg.Seed + uint64(e.it)*0x9e3779b9,
+	}
+}
+
+func (e *EMRun) fail(err error) error {
+	e.err = fmt.Errorf("core: EM iteration %d: %w", e.it, err)
+	e.done = true
+	return e.err
+}
+
+// finishIteration runs the maximization phase over the completed sampling
+// pass and advances (or completes) the estimation.
+func (e *EMRun) finishIteration(run *Result) error {
+	next, err := MaximizeTheta(run.Samples, e.cfg.MLE, e.dev)
+	if err != nil {
+		return e.fail(err)
+	}
+	lls := run.Samples.PostBurninLogLik()
+	meanLL := 0.0
+	for _, v := range lls {
+		meanLL += v
+	}
+	if len(lls) > 0 {
+		meanLL /= float64(len(lls))
+	}
+	e.res.History = append(e.res.History, EMIteration{
+		ThetaIn:        e.theta,
+		ThetaOut:       next,
+		AcceptanceRate: run.AcceptanceRate(),
+		MeanLogLik:     meanLL,
+	})
+	e.res.LastSet = run.Samples
+	e.res.FinalState = run.Final
+	e.cur = run.Final
+	moved := math.Abs(next-e.theta) / e.theta
+	e.theta = next
+	e.it++
+	if moved < e.cfg.Tolerance || e.it >= e.cfg.Iterations {
+		e.res.Theta = e.theta
+		e.done = true
+	}
+	return nil
 }
 
 // InitialTree builds the sampler's starting genealogy from the alignment:

@@ -59,6 +59,42 @@ func (g *GMH) Name() string { return "gmh" }
 
 // Run implements Sampler.
 func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	return runStepped(g, init, cfg)
+}
+
+// gmhRun is one started GMH chain: a Stepper whose Step is a full
+// proposal round (parallel candidate generation plus the index-chain
+// draws), the natural scheduling unit of the multiple-proposal sampler.
+type gmhRun struct {
+	g      *GMH
+	theta  float64
+	n      int
+	perSet int
+	total  int
+
+	host      *rng.MT19937
+	streams   *rng.StreamSet
+	scratches []*resim.Scratch
+
+	set   []*gtree.Tree
+	logw  []float64
+	stats []float64
+	errs  []error
+	ages  [][]float64
+	cur   int // index of the current state within the set
+	cache *felsen.DeltaCache
+
+	rec *recorder
+	out *SampleSet
+	res *Result
+
+	phi    int
+	slots  []int
+	kernel func(tid int)
+}
+
+// Start implements StepSampler.
+func (g *GMH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -77,122 +113,135 @@ func (g *GMH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 		perSet = n
 	}
 
-	host := seedSource(cfg.Seed, 2)
-	streams := rng.NewStreamSet(n, cfg.Seed^0x9e3779b97f4a7c15)
+	r := &gmhRun{
+		g:       g,
+		theta:   cfg.Theta,
+		n:       n,
+		perSet:  perSet,
+		total:   cfg.Burnin + cfg.Samples,
+		host:    seedSource(cfg.Seed, 2),
+		streams: rng.NewStreamSet(n, cfg.Seed^0x9e3779b97f4a7c15),
+	}
 	// One resimulation scratch per stream: the proposal kernel's region
 	// analysis reuses it every round, so draws allocate nothing.
-	scratches := make([]*resim.Scratch, n)
-	for i := range scratches {
-		scratches[i] = resim.NewScratch()
+	r.scratches = make([]*resim.Scratch, n)
+	for i := range r.scratches {
+		r.scratches[i] = resim.NewScratch()
 	}
 
 	// Proposal set: slot 0 holds the current state, slots 1..N the new
 	// candidates. All slots — trees, weights, statistics and age buffers —
 	// are preallocated once (paper §5.1.3) and rewritten in place each
 	// round.
-	set := make([]*gtree.Tree, n+1)
-	for i := range set {
-		set[i] = init.Clone()
+	r.set = make([]*gtree.Tree, n+1)
+	for i := range r.set {
+		r.set[i] = init.Clone()
 	}
-	logw := make([]float64, n+1)
-	stats := make([]float64, n+1)
-	errs := make([]error, n)
+	r.logw = make([]float64, n+1)
+	r.stats = make([]float64, n+1)
+	r.errs = make([]error, n)
 	nAges := init.NInterior()
-	ages := make([][]float64, n+1)
+	r.ages = make([][]float64, n+1)
 	agesStore := make([]float64, (n+1)*nAges)
-	for i := range ages {
-		ages[i] = agesStore[i*nAges : i*nAges : (i+1)*nAges]
+	for i := range r.ages {
+		r.ages[i] = agesStore[i*nAges : i*nAges : (i+1)*nAges]
 	}
 
-	cur := 0 // index of the current state within the set
-	var cache *felsen.DeltaCache
 	if g.NestedSiteParallelism {
-		logw[cur] = g.eval.LogLikelihood(set[cur])
+		r.logw[r.cur] = g.eval.LogLikelihood(r.set[r.cur])
 	} else {
-		cache = g.eval.NewDeltaCache()
-		logw[cur] = g.eval.Rebase(cache, set[cur])
+		r.cache = g.eval.NewDeltaCache()
+		r.logw[r.cur] = g.eval.Rebase(r.cache, r.set[r.cur])
 	}
-	ages[cur] = set[cur].CoalescentAgesInto(ages[cur])
-	stats[cur] = sumKKTFromAges(init.NTips(), ages[cur])
+	r.ages[r.cur] = r.set[r.cur].CoalescentAgesInto(r.ages[r.cur])
+	r.stats[r.cur] = sumKKTFromAges(init.NTips(), r.ages[r.cur])
 
-	total := cfg.Burnin + cfg.Samples
 	// Recorded draws copy their age vector out of the slot buffers into
 	// the recorder's flat arena, carved one record at a time.
-	rec := newRecorder(init.NTips(), cfg)
-	out := rec.set
-	res := &Result{Samples: out}
+	r.rec = newRecorder(init.NTips(), cfg)
+	r.out = r.rec.set
+	r.res = &Result{Samples: r.out}
 
 	// Proposal kernel: one device thread per candidate (§5.2.1). The
 	// thread owning the current state stays idle, exactly as the paper
 	// notes for the generator's thread. The closure is built once; phi,
 	// cur and slots are rebound per round before the launch.
-	var phi int
-	slots := make([]int, 0, n)
-	kernel := func(tid int) {
-		i := slots[tid]
-		p := set[i]
-		p.CopyFrom(set[cur])
-		if err := resim.ResimulateScratch(p, phi, cfg.Theta, streams.Stream(tid), scratches[tid]); err != nil {
+	r.slots = make([]int, 0, n)
+	r.kernel = func(tid int) {
+		i := r.slots[tid]
+		p := r.set[i]
+		p.CopyFrom(r.set[r.cur])
+		if err := resim.ResimulateScratch(p, r.phi, r.theta, r.streams.Stream(tid), r.scratches[tid]); err != nil {
 			// A numerically impossible region: the candidate gets zero
 			// weight and can never be sampled; the round proceeds.
-			errs[tid] = err
-			logw[i] = logspace.NegInf
+			r.errs[tid] = err
+			r.logw[i] = logspace.NegInf
 			return
 		}
-		errs[tid] = nil
-		if cache != nil {
+		r.errs[tid] = nil
+		if r.cache != nil {
 			// Read-only delta evaluation: with N candidates a round and
 			// at most one winner, evaluating without staging and paying
 			// one incremental RebaseTo for the chosen slot is cheaper
 			// than staging all N (the single-proposal engine chains make
 			// the opposite trade through StageDelta).
-			logw[i] = g.eval.LogLikelihoodDelta(cache, p)
+			r.logw[i] = g.eval.LogLikelihoodDelta(r.cache, p)
 		} else {
-			logw[i] = g.eval.LogLikelihood(p)
+			r.logw[i] = g.eval.LogLikelihood(p)
 		}
-		ages[i] = p.CoalescentAgesInto(ages[i])
-		stats[i] = sumKKTFromAges(out.NTips, ages[i])
+		r.ages[i] = p.CoalescentAgesInto(r.ages[i])
+		r.stats[i] = sumKKTFromAges(r.out.NTips, r.ages[i])
 	}
+	return r, nil
+}
 
-	for out.Len() < total {
-		// Auxiliary variable φ: the shared resimulation target, making
-		// every member of the set able to propose the rest (§4.3).
-		phi = resim.PickTarget(set[cur], host)
-		slots = slots[:0]
-		for i := 0; i <= n; i++ {
-			if i != cur {
-				slots = append(slots, i)
-			}
-		}
-		g.dev.Launch(n, kernel)
-		res.Proposals += n
-		for _, err := range errs {
-			if err != nil {
-				res.FailedProposals++
-			}
-		}
-
-		// Sampling stage: draw from the index chain's stationary
-		// distribution, w_i ∝ P(D|G̃_i) (Eq. 31), perSet times.
-		last := cur
-		for k := 0; k < perSet && out.Len() < total; k++ {
-			idx := rng.LogCategorical(host, logw)
-			if idx != last {
-				res.Accepted++
-			}
-			last = idx
-			rec.record(stats[idx], ages[idx], logw[idx])
-		}
-		if last != cur {
-			cur = last
-			if cache != nil {
-				// Move the conditional-likelihood cache onto the new
-				// current state incrementally: only the accepted
-				// neighbourhood's rows are rewritten.
-				g.eval.RebaseTo(cache, set[cur])
-			}
+// Step implements Stepper: one full proposal round.
+func (r *gmhRun) Step() error {
+	// Auxiliary variable φ: the shared resimulation target, making
+	// every member of the set able to propose the rest (§4.3).
+	r.phi = resim.PickTarget(r.set[r.cur], r.host)
+	r.slots = r.slots[:0]
+	for i := 0; i <= r.n; i++ {
+		if i != r.cur {
+			r.slots = append(r.slots, i)
 		}
 	}
-	res.Final = set[cur].Clone()
-	return res, nil
+	r.g.dev.Launch(r.n, r.kernel)
+	r.res.Proposals += r.n
+	for _, err := range r.errs {
+		if err != nil {
+			r.res.FailedProposals++
+		}
+	}
+
+	// Sampling stage: draw from the index chain's stationary
+	// distribution, w_i ∝ P(D|G̃_i) (Eq. 31), perSet times.
+	last := r.cur
+	for k := 0; k < r.perSet && r.out.Len() < r.total; k++ {
+		idx := rng.LogCategorical(r.host, r.logw)
+		if idx != last {
+			r.res.Accepted++
+		}
+		last = idx
+		r.rec.record(r.stats[idx], r.ages[idx], r.logw[idx])
+	}
+	if last != r.cur {
+		r.cur = last
+		if r.cache != nil {
+			// Move the conditional-likelihood cache onto the new
+			// current state incrementally: only the accepted
+			// neighbourhood's rows are rewritten.
+			r.g.eval.RebaseTo(r.cache, r.set[r.cur])
+		}
+	}
+	return nil
+}
+
+// Done implements Stepper.
+func (r *gmhRun) Done() bool { return r.out.Len() >= r.total }
+
+// Finish implements Stepper.
+func (r *gmhRun) Finish() (*Result, error) {
+	r.res.Final = r.set[r.cur].Clone()
+	return r.res, nil
 }

@@ -58,6 +58,30 @@ func (h *Heated) Name() string { return "heated" }
 
 // Run implements Sampler.
 func (h *Heated) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	return runStepped(h, init, cfg)
+}
+
+// heatedRun is one started MC³ ladder: a Stepper whose Step is one
+// parallel sweep of tempered within-chain moves plus a swap attempt.
+type heatedRun struct {
+	h         *Heated
+	p         int
+	swapEvery int
+	total     int
+
+	betas    []float64
+	states   []*chainState
+	host     *rng.MT19937
+	accepted []bool
+	kernel   func(i int)
+
+	rec  *recorder
+	res  *Result
+	step int
+}
+
+// Start implements StepSampler.
+func (h *Heated) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -93,57 +117,73 @@ func (h *Heated) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 		betas[i] = math.Pow(maxTemp, -float64(i)/float64(p-1))
 	}
 
-	host := seedSource(cfg.Seed, 5)
+	r := &heatedRun{
+		h:         h,
+		p:         p,
+		swapEvery: swapEvery,
+		total:     cfg.Burnin + cfg.Samples,
+		betas:     betas,
+		host:      seedSource(cfg.Seed, 5),
+		accepted:  make([]bool, p),
+		rec:       newRecorder(init.NTips(), cfg),
+	}
 	streams := rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f)
 
 	// One engine state per rung: tree pair, delta cache, resimulation
 	// scratch and tempering exponent, driven by the rung's own stream.
 	// The shared starting tree is evaluated once and replicated.
-	states := newChainLadder(h.eval, init, h.SerialEval, p)
-	for i := range states {
-		states[i].beta = betas[i]
+	r.states = newChainLadder(h.eval, init, h.SerialEval, p)
+	for i := range r.states {
+		r.states[i].beta = betas[i]
 	}
-
-	rec := newRecorder(init.NTips(), cfg)
-	res := &Result{Samples: rec.set}
-	accepted := make([]bool, p)
+	r.res = &Result{Samples: r.rec.set}
 
 	// One tempered MH step per rung, in parallel across the ladder on the
 	// persistent pool. Each rung owns its stream, state and scratch, so
 	// results are deterministic regardless of scheduling; the closure is
 	// built once and reused by every launch. A rung whose resimulation
 	// lands in an infeasible region simply skips the move.
-	kernel := func(i int) {
-		acc, _ := states[i].step(cfg.Theta, streams.Stream(i))
-		accepted[i] = acc
+	r.kernel = func(i int) {
+		acc, _ := r.states[i].step(cfg.Theta, streams.Stream(i))
+		r.accepted[i] = acc
+	}
+	return r, nil
+}
+
+// Step implements Stepper: one ladder sweep plus a swap attempt.
+func (r *heatedRun) Step() error {
+	r.h.dev.Launch(r.p, r.kernel)
+	r.res.Proposals += r.p
+	if r.accepted[0] {
+		r.res.Accepted++
 	}
 
-	total := cfg.Burnin + cfg.Samples
-	for step := 0; step < total; step++ {
-		h.dev.Launch(p, kernel)
-		res.Proposals += p
-		if accepted[0] {
-			res.Accepted++
+	// Swap attempt between a random adjacent pair (serial, cheap).
+	// Accepted swaps exchange the whole rung states and re-pin the
+	// tempering exponents to the ladder positions: the trees move,
+	// the temperatures stay.
+	if r.p > 1 && r.step%r.swapEvery == 0 {
+		i := rng.Intn(r.host, r.p-1)
+		j := i + 1
+		logr := (r.betas[i] - r.betas[j]) * (r.states[j].logLik - r.states[i].logLik)
+		if logr >= 0 || r.host.Float64() < math.Exp(logr) {
+			r.states[i], r.states[j] = r.states[j], r.states[i]
+			r.states[i].beta, r.states[j].beta = r.betas[i], r.betas[j]
+			r.res.Swaps++
 		}
-
-		// Swap attempt between a random adjacent pair (serial, cheap).
-		// Accepted swaps exchange the whole rung states and re-pin the
-		// tempering exponents to the ladder positions: the trees move,
-		// the temperatures stay.
-		if p > 1 && step%swapEvery == 0 {
-			i := rng.Intn(host, p-1)
-			j := i + 1
-			logr := (betas[i] - betas[j]) * (states[j].logLik - states[i].logLik)
-			if logr >= 0 || host.Float64() < math.Exp(logr) {
-				states[i], states[j] = states[j], states[i]
-				states[i].beta, states[j].beta = betas[i], betas[j]
-				res.Swaps++
-			}
-			res.SwapAttempts++
-		}
-
-		rec.recordState(states[0])
+		r.res.SwapAttempts++
 	}
-	res.Final = states[0].cur.Clone()
-	return res, nil
+
+	r.rec.recordState(r.states[0])
+	r.step++
+	return nil
+}
+
+// Done implements Stepper.
+func (r *heatedRun) Done() bool { return r.step >= r.total }
+
+// Finish implements Stepper.
+func (r *heatedRun) Finish() (*Result, error) {
+	r.res.Final = r.states[0].cur.Clone()
+	return r.res, nil
 }

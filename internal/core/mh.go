@@ -5,6 +5,7 @@ import (
 
 	"mpcgs/internal/felsen"
 	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
 )
 
 // MH is the serial single-chain Metropolis-Hastings sampler implementing
@@ -36,6 +37,22 @@ func (m *MH) Name() string { return "mh" }
 
 // Run implements Sampler.
 func (m *MH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	return runStepped(m, init, cfg)
+}
+
+// mhRun is one started MH chain: a Stepper over single Metropolis steps.
+type mhRun struct {
+	theta float64
+	src   rng.Source
+	st    *chainState
+	rec   *recorder
+	res   *Result
+	step  int
+	total int
+}
+
+// Start implements StepSampler.
+func (m *MH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -45,23 +62,37 @@ func (m *MH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 	if init.NTips() < 3 {
 		return nil, fmt.Errorf("core: sampler needs at least 3 sequences, got %d", init.NTips())
 	}
-	src := seedSource(cfg.Seed, 1)
-	st := newChainState(m.eval, init, m.SerialEval)
 	rec := newRecorder(init.NTips(), cfg)
-	res := &Result{Samples: rec.set}
+	return &mhRun{
+		theta: cfg.Theta,
+		src:   seedSource(cfg.Seed, 1),
+		st:    newChainState(m.eval, init, m.SerialEval),
+		rec:   rec,
+		res:   &Result{Samples: rec.set},
+		total: cfg.Burnin + cfg.Samples,
+	}, nil
+}
 
-	total := cfg.Burnin + cfg.Samples
-	for step := 0; step < total; step++ {
-		accepted, err := st.step(cfg.Theta, src)
-		if err != nil {
-			return nil, fmt.Errorf("core: proposal failed at step %d: %w", step, err)
-		}
-		res.Proposals++
-		if accepted {
-			res.Accepted++
-		}
-		rec.recordState(st)
+// Step implements Stepper: one Metropolis transition, recorded.
+func (r *mhRun) Step() error {
+	accepted, err := r.st.step(r.theta, r.src)
+	if err != nil {
+		return fmt.Errorf("core: proposal failed at step %d: %w", r.step, err)
 	}
-	res.Final = st.cur
-	return res, nil
+	r.step++
+	r.res.Proposals++
+	if accepted {
+		r.res.Accepted++
+	}
+	r.rec.recordState(r.st)
+	return nil
+}
+
+// Done implements Stepper.
+func (r *mhRun) Done() bool { return r.step >= r.total }
+
+// Finish implements Stepper.
+func (r *mhRun) Finish() (*Result, error) {
+	r.res.Final = r.st.cur
+	return r.res, nil
 }

@@ -34,6 +34,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,6 +44,11 @@ import (
 	"mpcgs/internal/logspace"
 )
 
+// ErrClosed is returned by Pool operations issued after Close: a
+// long-lived batch service must hear about shutdown instead of silently
+// absorbing an entire grid on the calling goroutine.
+var ErrClosed = errors.New("device: pool closed")
+
 // WarpSize is the number of threads cooperating in one shuffle reduction,
 // matching the 32-thread warps of every CUDA compute version (§5.1.3).
 const WarpSize = 32
@@ -51,10 +57,22 @@ const WarpSize = 32
 // more chunks smooth load imbalance, fewer chunks reduce claim traffic.
 const chunkDivisor = 4
 
-// Device executes kernels with a bounded degree of parallelism.
+// fairQuantum is how many chunks a pool worker claims from one task
+// before returning to the queue to re-pick. Bounding the quantum keeps
+// chunk claiming fair across tenants of a shared pool: a worker never
+// pins itself to one tenant's grid while another tenant's launch waits.
+const fairQuantum = chunkDivisor
+
+// Device executes kernels with a bounded degree of parallelism. A Device
+// is either a root (owning its worker pool) or a tenant view of a shared
+// Pool: views share the root's workers but carry their own launch
+// accounting, so a batch scheduler can attribute device time per job.
 type Device struct {
 	workers  int
-	pool     *pool // nil for single-worker devices
+	pool     *pool     // nil for single-worker devices
+	root     *Device   // the pool-owning device; self for roots
+	name     string    // tenant label; empty for roots
+	agg      *aggStats // shared Pool-wide counters; nil off-pool
 	launches atomic.Int64
 	threads  atomic.Int64
 }
@@ -66,6 +84,7 @@ type pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []*task // published tasks that may still have unclaimed chunks
+	rr      int     // round-robin cursor over pending tasks (tenant fairness)
 	size    int     // target number of workers
 	started bool
 	closed  bool
@@ -92,6 +111,7 @@ func New(workers int) *Device {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	d := &Device{workers: workers}
+	d.root = d
 	if workers > 1 {
 		p := &pool{size: workers - 1} // the launching goroutine is the last worker
 		p.cond = sync.NewCond(&p.mu)
@@ -101,6 +121,17 @@ func New(workers int) *Device {
 	}
 	return d
 }
+
+// tenantView returns a Device sharing d's workers and pool but carrying
+// its own launch accounting under the given tenant name. The view keeps
+// the root device reachable so the runtime cleanup cannot tear the shared
+// pool down while any tenant still holds a view.
+func (d *Device) tenantView(name string) *Device {
+	return &Device{workers: d.workers, pool: d.pool, root: d.root, name: name, agg: d.agg}
+}
+
+// Name returns the tenant label of a view ("" for a root device).
+func (d *Device) Name() string { return d.name }
 
 // Serial returns a single-worker device: every kernel runs sequentially on
 // the calling goroutine. It is the "1 processing unit" baseline of the
@@ -150,17 +181,18 @@ func (p *pool) submit(t *task) {
 	p.mu.Unlock()
 }
 
-// pending removes fully claimed tasks from the queue and returns one that
-// still has unclaimed chunks, or nil. Caller holds p.mu.
+// pending removes fully claimed tasks from the queue and returns the next
+// one in round-robin order, or nil. Rotating across pending tasks is what
+// makes chunk claiming fair across tenants of a shared pool: concurrent
+// launches interleave instead of draining FIFO, so no tenant's grid can
+// monopolize the workers while another tenant waits. (Each tenant has at
+// most a handful of launches in flight — its chains are sequential — so
+// rotating over tasks is rotating over tenants.) Caller holds p.mu.
 func (p *pool) pending() *task {
 	live := p.queue[:0]
-	var found *task
 	for _, t := range p.queue {
 		if int(t.next.Load()) < t.n {
 			live = append(live, t)
-			if found == nil {
-				found = t
-			}
 		}
 	}
 	// Drop references past the live prefix so finished tasks are collectable.
@@ -168,11 +200,17 @@ func (p *pool) pending() *task {
 		p.queue[i] = nil
 	}
 	p.queue = live
-	return found
+	if len(live) == 0 {
+		return nil
+	}
+	p.rr++
+	return live[p.rr%len(live)]
 }
 
 // worker is the loop of one persistent pool goroutine: park until a task
-// with unclaimed chunks appears, drain it, repeat.
+// with unclaimed chunks appears, claim a bounded quantum of its chunks,
+// re-pick, repeat. The bounded quantum (rather than draining the task)
+// keeps claiming fair when several tenants have grids in flight.
 func (p *pool) worker() {
 	for {
 		p.mu.Lock()
@@ -188,13 +226,18 @@ func (p *pool) worker() {
 		if t == nil {
 			return // pool closed
 		}
-		t.run()
+		t.runChunks(fairQuantum)
 	}
 }
 
-// run claims and executes chunks until the grid is exhausted.
-func (t *task) run() {
-	for {
+// run claims and executes chunks until the grid is exhausted — the
+// launching goroutine's loop, which always sees its own grid through.
+func (t *task) run() { t.runChunks(math.MaxInt) }
+
+// runChunks claims and executes up to max chunks, stopping early once the
+// grid is exhausted.
+func (t *task) runChunks(max int) {
+	for c := 0; c < max; c++ {
 		lo := int(t.next.Add(int64(t.chunk))) - t.chunk
 		if lo >= t.n {
 			return
@@ -236,6 +279,10 @@ func (d *Device) Launch(n int, kernel func(tid int)) {
 	}
 	d.launches.Add(1)
 	d.threads.Add(int64(n))
+	if d.agg != nil {
+		d.agg.launches.Add(1)
+		d.agg.threads.Add(int64(n))
+	}
 	if d.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			kernel(i)
@@ -353,4 +400,95 @@ func (d *Device) ReduceLogSum(xs []float64) float64 {
 		shifted[i] = math.Exp(xs[i] - m)
 	})
 	return m + math.Log(d.ReduceSum(shifted))
+}
+
+// Pool is the shared execution substrate of the multi-tenant batch mode:
+// one device (one set of persistent workers) serving many estimation jobs
+// at once, instead of the one-pool-per-run model. Each job obtains a
+// tenant view with Tenant; launches from all views interleave on the same
+// workers with round-robin chunk claiming, so tenants share the hardware
+// fairly, and each view carries its own launch accounting.
+//
+// Unlike a bare Device — whose Launch deliberately degrades to a serial
+// run on the caller after Close, the right teardown behaviour for a
+// single estimation run — a Pool fails fast: Launch and Tenant return
+// ErrClosed once the pool has been closed, because a batch service must
+// notice shutdown rather than grind a whole grid on one goroutine. A
+// Launch already in flight when Close is called still completes, and
+// tenant views keep the Device contract (their launches degrade rather
+// than error); the batch scheduler polls Closed between scheduling
+// quanta, so a closed pool stops the batch at the next quantum boundary
+// with at most one bounded quantum of degraded work per driver.
+type Pool struct {
+	mu     sync.Mutex
+	root   *Device
+	agg    aggStats
+	closed bool
+}
+
+// aggStats accumulates launch counts across a pool's root and every
+// tenant view, so Pool.Stats needs no registry of views — a long-lived
+// service creates tenants per job without the pool retaining them.
+type aggStats struct {
+	launches atomic.Int64
+	threads  atomic.Int64
+}
+
+// NewPool returns a shared pool with the given number of workers
+// (non-positive selects runtime.GOMAXPROCS(0)).
+func NewPool(workers int) *Pool {
+	p := &Pool{root: New(workers)}
+	p.root.agg = &p.agg
+	return p
+}
+
+// Workers returns the pool's degree of parallelism.
+func (p *Pool) Workers() int { return p.root.Workers() }
+
+// Tenant registers a new tenant and returns its device view. It returns
+// ErrClosed if the pool has been closed.
+func (p *Pool) Tenant(name string) (*Device, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	return p.root.tenantView(name), nil
+}
+
+// Launch runs kernel over [0, n) on the shared workers, like
+// Device.Launch, but returns ErrClosed instead of degrading to a serial
+// caller-side run once the pool has been closed.
+func (p *Pool) Launch(n int, kernel func(tid int)) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	p.root.Launch(n, kernel)
+	return nil
+}
+
+// Close stops the shared workers. Tenant views remain safe to use for
+// in-flight launches (they degrade to caller-side execution, the Device
+// contract), but new Pool operations return ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.root.Close()
+}
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Stats returns cumulative launches and kernel threads across the root
+// device and every tenant view.
+func (p *Pool) Stats() (launches, threads int64) {
+	return p.agg.launches.Load(), p.agg.threads.Load()
 }

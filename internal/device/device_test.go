@@ -1,12 +1,15 @@
 package device
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mpcgs/internal/logspace"
 )
@@ -339,4 +342,147 @@ func TestLaunchBlocksBlockCount(t *testing.T) {
 	if got := blocks.Load(); got != 2 {
 		t.Errorf("got %d blocks, want 2", got)
 	}
+}
+
+func TestPoolLaunchAfterCloseReturnsErrClosed(t *testing.T) {
+	// Regression: a late Launch on a closed shared pool must fail fast
+	// with the sentinel instead of hanging or silently absorbing the grid
+	// on the calling goroutine (the Device teardown behaviour, which is
+	// wrong for a long-lived batch service).
+	p := NewPool(4)
+	if err := p.Launch(10, func(int) {}); err != nil {
+		t.Fatalf("Launch on open pool: %v", err)
+	}
+	p.Close()
+	p.Close() // double Close is fine
+
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Launch(100, func(int) {
+			t.Error("kernel ran on a closed pool")
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Launch after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Launch after Close hung")
+	}
+	if _, err := p.Tenant("late"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Tenant after Close = %v, want ErrClosed", err)
+	}
+	if !p.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+}
+
+func TestPoolTenantViewsShareWorkersSplitAccounting(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	a, err := p.Tenant("job-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Tenant("job-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "job-a" || b.Name() != "job-b" {
+		t.Fatalf("tenant names %q, %q", a.Name(), b.Name())
+	}
+	if a.Workers() != p.Workers() || b.Workers() != p.Workers() {
+		t.Fatal("tenant views must report the shared pool's parallelism")
+	}
+	var ca, cb atomic.Int32
+	a.Launch(100, func(int) { ca.Add(1) })
+	b.Launch(60, func(int) { cb.Add(1) })
+	b.Launch(40, func(int) { cb.Add(1) })
+	if ca.Load() != 100 || cb.Load() != 100 {
+		t.Fatalf("tenant grids ran %d/%d threads, want 100/100", ca.Load(), cb.Load())
+	}
+	la, ta := a.Stats()
+	lb, tb := b.Stats()
+	if la != 1 || ta != 100 {
+		t.Errorf("tenant a stats = %d launches/%d threads, want 1/100", la, ta)
+	}
+	if lb != 2 || tb != 100 {
+		t.Errorf("tenant b stats = %d launches/%d threads, want 2/100", lb, tb)
+	}
+	if l, th := p.Stats(); l != 3 || th != 200 {
+		t.Errorf("pool aggregate stats = %d/%d, want 3/200", l, th)
+	}
+}
+
+func TestPoolTenantsInterleaveFairly(t *testing.T) {
+	// A tenant launching a long grid must not block another tenant's short
+	// grid until the long one drains: round-robin chunk claiming lets the
+	// short launch finish while the long grid is still in flight.
+	p := NewPool(4)
+	defer p.Close()
+	long, err := p.Tenant("long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := p.Tenant("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	var once sync.Once
+	longDone := make(chan struct{})
+	go func() {
+		defer close(longDone)
+		long.Launch(10000, func(int) {
+			once.Do(func() { close(started) })
+			time.Sleep(20 * time.Microsecond)
+		})
+	}()
+	<-started
+	shortDone := make(chan struct{})
+	go func() {
+		defer close(shortDone)
+		var n atomic.Int32
+		short.Launch(8, func(int) { n.Add(1) })
+		if n.Load() != 8 {
+			t.Errorf("short grid ran %d threads, want 8", n.Load())
+		}
+	}()
+	select {
+	case <-shortDone:
+		// The short tenant completed while the long grid was (very likely)
+		// still running; either way it was not starved.
+	case <-time.After(10 * time.Second):
+		t.Fatal("short tenant starved behind long tenant's grid")
+	}
+	<-longDone
+}
+
+func TestConcurrentTenantLaunchesCorrect(t *testing.T) {
+	// Many tenants launching concurrently on one pool: every grid sees
+	// exactly its own threads (the batch-scheduler pattern).
+	p := NewPool(4)
+	defer p.Close()
+	const tenants, n = 8, 300
+	var wg sync.WaitGroup
+	for c := 0; c < tenants; c++ {
+		dev, err := p.Tenant(fmt.Sprintf("t%d", c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				var count atomic.Int32
+				dev.Launch(n, func(int) { count.Add(1) })
+				if count.Load() != n {
+					t.Errorf("tenant launch ran %d threads, want %d", count.Load(), n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/sched"
+	"mpcgs/internal/seqgen"
+)
+
+// BatchPoint is one row of the batch-throughput experiment: J quick-scale
+// estimation jobs run back-to-back (one pool per run, the pre-batch
+// model) against the same jobs multiplexed over one shared pool by the
+// multi-tenant scheduler.
+type BatchPoint struct {
+	Jobs           int
+	SerialSec      float64 // back-to-back wall time
+	BatchSec       float64 // shared-pool wall time
+	SerialJobsPerS float64
+	BatchJobsPerS  float64
+	// Speedup is the aggregate batch speedup SerialSec/BatchSec. It
+	// grows with J until the pool saturates; on a single worker it stays
+	// near 1 (no idle capacity for a second tenant to claim).
+	Speedup float64
+}
+
+// BatchThroughput runs the batch-scheduler experiment: for each job
+// count, the identical job list is estimated back-to-back and batched,
+// and the wall times are compared compute-for-compute.
+func BatchThroughput(c Common) ([]BatchPoint, error) {
+	jobCounts := []int{1, 2, 4, 8}
+	nSeq, seqLen, burnin, samples := 8, 120, 100, 800
+	if c.Scale == ScalePaper {
+		jobCounts = []int{1, 2, 4, 8, 16}
+		burnin, samples = 500, 5000
+	}
+	workers := c.workers()
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	makeJobs := func(n int) ([]sched.Job, error) {
+		jobs := make([]sched.Job, n)
+		for i := range jobs {
+			aln, _, err := seqgen.SimulateData(nSeq, seqLen, 1.0, c.seed()+uint64(100*i))
+			if err != nil {
+				return nil, err
+			}
+			jobs[i] = sched.Job{
+				Name:         fmt.Sprintf("job%d", i),
+				Alignment:    aln,
+				InitialTheta: 1.0,
+				Sampler:      "gmh",
+				Proposals:    workers,
+				Burnin:       burnin,
+				Samples:      samples,
+				EMIterations: 1,
+				Seed:         c.seed() + uint64(1000*i),
+			}
+		}
+		return jobs, nil
+	}
+
+	var out []BatchPoint
+	for _, n := range jobCounts {
+		jobs, err := makeJobs(n)
+		if err != nil {
+			return nil, err
+		}
+
+		// Back-to-back baseline: each job spawns, uses and tears down its
+		// own pool, exactly what n standalone invocations would do. The
+		// pipeline is sched.RunStandalone — the very one RunBatch admits
+		// jobs through — so the comparison is compute-for-compute.
+		start := time.Now()
+		for _, j := range jobs {
+			if _, err := sched.RunStandalone(j, workers); err != nil {
+				return nil, fmt.Errorf("batch experiment, serial job %s: %w", j.Name, err)
+			}
+		}
+		serial := time.Since(start).Seconds()
+
+		pool := device.NewPool(workers)
+		start = time.Now()
+		results, err := sched.RunBatch(context.Background(), pool, jobs, sched.Options{})
+		batch := time.Since(start).Seconds()
+		pool.Close()
+		if err != nil {
+			return nil, fmt.Errorf("batch experiment, %d jobs: %w", n, err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("batch experiment, job %s: %w", r.Name, r.Err)
+			}
+		}
+
+		out = append(out, BatchPoint{
+			Jobs:           n,
+			SerialSec:      serial,
+			BatchSec:       batch,
+			SerialJobsPerS: float64(n) / serial,
+			BatchJobsPerS:  float64(n) / batch,
+			Speedup:        serial / batch,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Baselines holds the committed §6 speedups parsed from a generated
+// EXPERIMENTS.md: experiment name → swept parameter value → speedup. It
+// is the reference the CI speedup-guard compares fresh measurements
+// against.
+type Baselines map[string]map[int]float64
+
+// guardSections maps a speedup table's title (as printed by paperbench
+// and embedded verbatim in EXPERIMENTS.md) to its experiment name.
+var guardSections = map[string]string{
+	"speedup vs number of genealogy samples": "samples",
+	"speedup vs number of sequences":         "sequences",
+	"speedup vs sequence length":             "seqlen",
+}
+
+// ParseBaselines extracts the speedup tables from a generated
+// EXPERIMENTS.md (or raw paperbench output). A table row is a line of
+// the form
+//
+//	2000       0.135        0.025          5.32       3.69
+//
+// inside a "=== ... speedup vs ... ===" section: first field the swept
+// parameter, fourth field the measured speedup. The surrounding ASCII
+// plots never match that shape, so they are skipped without special
+// casing.
+func ParseBaselines(r io.Reader) (Baselines, error) {
+	base := Baselines{}
+	section := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, "===") {
+			section = ""
+			for title, name := range guardSections {
+				if strings.Contains(line, title) {
+					section = name
+				}
+			}
+			continue
+		}
+		if section == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		param, err := strconv.Atoi(fields[0])
+		if err != nil {
+			continue
+		}
+		speedup, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			continue
+		}
+		if base[section] == nil {
+			base[section] = map[int]float64{}
+		}
+		base[section][param] = speedup
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("no speedup baselines found")
+	}
+	return base, nil
+}
+
+// GuardViolation is one §6 point whose fresh measurement fell below the
+// committed floor.
+type GuardViolation struct {
+	Experiment string
+	Param      int
+	Measured   float64
+	Baseline   float64
+	Floor      float64
+}
+
+func (v GuardViolation) String() string {
+	return fmt.Sprintf("%s @ %d: speedup %.2f below floor %.2f (baseline %.2f)",
+		v.Experiment, v.Param, v.Measured, v.Floor, v.Baseline)
+}
+
+// CheckSpeedupFloor compares freshly measured speedup points against the
+// committed baselines: a point fails when its speedup drops below
+// baseline × factor (the factor absorbs runner noise). Points with no
+// committed baseline — a new sweep value — are ignored; it is the
+// regenerated EXPERIMENTS.md that adopts them. The returned count is the
+// number of points actually compared, so a caller can refuse to treat a
+// vacuous run (nothing measured, nothing compared) as a pass.
+func CheckSpeedupFloor(measured map[string][]SpeedupPoint, base Baselines, factor float64) (checked int, violations []GuardViolation) {
+	for _, name := range []string{"samples", "sequences", "seqlen"} {
+		ref := base[name]
+		if ref == nil {
+			continue
+		}
+		for _, p := range measured[name] {
+			baseline, ok := ref[p.Param]
+			if !ok {
+				continue
+			}
+			checked++
+			floor := baseline * factor
+			if p.Speedup < floor {
+				violations = append(violations, GuardViolation{
+					Experiment: name,
+					Param:      p.Param,
+					Measured:   p.Speedup,
+					Baseline:   baseline,
+					Floor:      floor,
+				})
+			}
+		}
+	}
+	return checked, violations
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// guardDoc is a trimmed EXPERIMENTS.md body: two speedup tables with
+// their ASCII plots, whose axis labels deliberately look row-like.
+const guardDoc = `# EXPERIMENTS
+
+Regenerate with:
+
+    go run ./cmd/paperbench -experiment samples,seqlen -scale quick -md EXPERIMENTS.md
+
+` + "```text" + `
+=== Table 2 / Figure 14: speedup vs number of genealogy samples ===
+samples    serial (s)   parallel (s)   speedup    paper
+2000       0.135        0.025          5.32       3.69
+3000       0.200        0.036          5.54       3.80
+
+Table 2 / Figure 14: speedup vs number of genealogy samples
+  * = measured
+      5.598 ┤       *      *
+       3.69 ┤o
+            └──────────────────
+             2000        1e+04
+             samples  (y: speedup)
+
+=== Table 4 / Figure 16: speedup vs sequence length ===
+bp         serial (s)   parallel (s)   speedup    paper
+200        0.068        0.015          4.64       3.69
+400        0.129        0.027          4.84       5.67
+` + "```" + `
+`
+
+func TestParseBaselines(t *testing.T) {
+	base, err := ParseBaselines(strings.NewReader(guardDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Baselines{
+		"samples": {2000: 5.32, 3000: 5.54},
+		"seqlen":  {200: 4.64, 400: 4.84},
+	}
+	if len(base) != len(want) {
+		t.Fatalf("parsed experiments %v, want %v", base, want)
+	}
+	for name, rows := range want {
+		if len(base[name]) != len(rows) {
+			t.Fatalf("%s: parsed %v, want %v", name, base[name], rows)
+		}
+		for param, speedup := range rows {
+			if base[name][param] != speedup {
+				t.Errorf("%s@%d = %v, want %v", name, param, base[name][param], speedup)
+			}
+		}
+	}
+}
+
+func TestParseBaselinesRejectsEmptyDoc(t *testing.T) {
+	if _, err := ParseBaselines(strings.NewReader("# nothing here\n")); err == nil {
+		t.Fatal("expected error on a document without speedup tables")
+	}
+}
+
+func TestCheckSpeedupFloor(t *testing.T) {
+	base := Baselines{
+		"samples": {2000: 5.0, 3000: 5.5},
+		"seqlen":  {200: 4.0},
+	}
+	measured := map[string][]SpeedupPoint{
+		"samples": {
+			{Param: 2000, Speedup: 3.6}, // above floor 3.5: fine
+			{Param: 3000, Speedup: 3.5}, // below floor 3.85: violation
+			{Param: 9999, Speedup: 0.1}, // no baseline: ignored
+		},
+		"seqlen": {
+			{Param: 200, Speedup: 4.2},
+		},
+	}
+	checked, violations := CheckSpeedupFloor(measured, base, 0.7)
+	if checked != 3 {
+		t.Errorf("checked %d points, want 3 (the unbaselined point is skipped)", checked)
+	}
+	if len(violations) != 1 {
+		t.Fatalf("got %d violations (%v), want 1", len(violations), violations)
+	}
+	v := violations[0]
+	if v.Experiment != "samples" || v.Param != 3000 {
+		t.Errorf("unexpected violation %+v", v)
+	}
+	if wantFloor := v.Baseline * 0.7; v.Floor != wantFloor {
+		t.Errorf("floor = %v, want %v", v.Floor, wantFloor)
+	}
+	if got := v.String(); !strings.Contains(got, "samples @ 3000") {
+		t.Errorf("violation string %q", got)
+	}
+
+	if _, extra := CheckSpeedupFloor(measured, base, 0.1); len(extra) != 0 {
+		t.Errorf("factor 0.1 should pass everything, got %v", extra)
+	}
+}
+
+// TestBatchThroughputExperimentRuns smoke-tests the batch experiment at a
+// tiny scale: every point runs both modes and reports coherent numbers.
+func TestBatchThroughputExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch experiment harness")
+	}
+	pts, err := BatchThroughput(Common{Scale: ScaleQuick, Workers: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.SerialSec <= 0 || p.BatchSec <= 0 {
+			t.Errorf("jobs=%d: non-positive timing %+v", p.Jobs, p)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("jobs=%d: non-positive speedup", p.Jobs)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"mpcgs/internal/device"
+)
+
+// BenchmarkBatchThroughput measures the batch mode's headline quantity:
+// aggregate throughput (jobs/sec) of J quick-scale estimation jobs
+// multiplexed over one shared pool, against the same jobs run
+// back-to-back in the one-pool-per-run model. The custom metrics are
+//
+//	batch-jobs/s   throughput of the shared-pool batch
+//	serial-jobs/s  throughput of the back-to-back baseline
+//	speedup        their ratio (aggregate batch speedup)
+//
+// Throughput should rise with J until the pool saturates: a single job
+// cannot keep every worker busy through its serial host stages (index
+// draws, swap moves, maximization), so concurrent tenants fill the gaps.
+// On a single-core runner the two modes tie (speedup ≈ 1): there are no
+// idle workers for a second tenant to claim, which is itself the Amdahl
+// argument the paper's §3 makes. Each measurement runs the identical job
+// list both ways, so the comparison is compute-for-compute.
+func BenchmarkBatchThroughput(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, nJobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", nJobs), func(b *testing.B) {
+			jobs := make([]Job, nJobs)
+			for i := range jobs {
+				j := quickJob(fmt.Sprintf("bench%d", i),
+					testAlignment(b, 8, 120, 7000+uint64(i)), "gmh", 7100+uint64(i))
+				j.Proposals = workers
+				j.Burnin, j.Samples, j.EMIterations = 100, 800, 1
+				jobs[i] = j
+			}
+			var serialSec, batchSec float64
+			b.ResetTimer()
+			for iter := 0; iter < b.N; iter++ {
+				start := time.Now()
+				for _, j := range jobs {
+					standalone(b, j, workers)
+				}
+				serialSec += time.Since(start).Seconds()
+
+				pool := device.NewPool(workers)
+				start = time.Now()
+				results, err := RunBatch(context.Background(), pool, jobs, Options{})
+				batchSec += time.Since(start).Seconds()
+				pool.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(nJobs)*n/batchSec, "batch-jobs/s")
+			b.ReportMetric(float64(nJobs)*n/serialSec, "serial-jobs/s")
+			b.ReportMetric(serialSec/batchSec, "speedup")
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpcgs/internal/phylip"
+)
+
+// Manifest is the on-disk description of a batch: optional defaults plus
+// one entry per job. It is the input of `mpcgs -batch`.
+//
+//	{
+//	  "defaults": {"sampler": "gmh", "burnin": 500, "samples": 5000, "theta": 1.0},
+//	  "jobs": [
+//	    {"name": "popA", "phylip": "popA.phy", "seed": 11},
+//	    {"name": "popB", "phylip": "popB.phy", "theta": 0.5, "sampler": "heated", "seed": 12}
+//	  ]
+//	}
+//
+// Relative phylip paths resolve against the manifest's own directory.
+// Job fields left at their zero value inherit first from defaults, then
+// from the standalone-run defaults (sampler gmh, model f81, burnin 1000,
+// samples 10000, 10 EM iterations, seed 1).
+type Manifest struct {
+	Defaults ManifestJob   `json:"defaults"`
+	Jobs     []ManifestJob `json:"jobs"`
+}
+
+// ManifestJob is one manifest entry. Phylip is required on jobs (it is
+// meaningless in defaults); everything else is optional.
+type ManifestJob struct {
+	Name         string  `json:"name"`
+	Phylip       string  `json:"phylip"`
+	Theta        float64 `json:"theta"`
+	Sampler      string  `json:"sampler"`
+	Model        string  `json:"model"`
+	Proposals    int     `json:"proposals"`
+	Chains       int     `json:"chains"`
+	Burnin       int     `json:"burnin"`
+	Samples      int     `json:"samples"`
+	EMIterations int     `json:"em_iterations"`
+	Seed         uint64  `json:"seed"`
+}
+
+// merged returns the entry with zero-valued fields filled from defaults.
+func (m ManifestJob) merged(d ManifestJob) ManifestJob {
+	if m.Theta == 0 {
+		m.Theta = d.Theta
+	}
+	if m.Sampler == "" {
+		m.Sampler = d.Sampler
+	}
+	if m.Model == "" {
+		m.Model = d.Model
+	}
+	if m.Proposals == 0 {
+		m.Proposals = d.Proposals
+	}
+	if m.Chains == 0 {
+		m.Chains = d.Chains
+	}
+	if m.Burnin == 0 {
+		m.Burnin = d.Burnin
+	}
+	if m.Samples == 0 {
+		m.Samples = d.Samples
+	}
+	if m.EMIterations == 0 {
+		m.EMIterations = d.EMIterations
+	}
+	if m.Seed == 0 {
+		m.Seed = d.Seed
+	}
+	return m
+}
+
+// LoadManifest parses a batch manifest and loads every job's alignment.
+func LoadManifest(path string) ([]Job, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("%s: manifest has no jobs", path)
+	}
+	base := filepath.Dir(path)
+	jobs := make([]Job, 0, len(m.Jobs))
+	for i, entry := range m.Jobs {
+		entry = entry.merged(m.Defaults)
+		if entry.Phylip == "" {
+			return nil, fmt.Errorf("%s: job %d (%q) has no phylip file", path, i, entry.Name)
+		}
+		seqPath := entry.Phylip
+		if !filepath.IsAbs(seqPath) {
+			seqPath = filepath.Join(base, seqPath)
+		}
+		aln, err := loadAlignment(seqPath)
+		if err != nil {
+			return nil, fmt.Errorf("%s: job %d (%q): %w", path, i, entry.Name, err)
+		}
+		name := entry.Name
+		if name == "" {
+			name = strings.TrimSuffix(filepath.Base(entry.Phylip), filepath.Ext(entry.Phylip))
+		}
+		jobs = append(jobs, Job{
+			Name:         name,
+			Alignment:    aln,
+			InitialTheta: entry.Theta,
+			Sampler:      entry.Sampler,
+			Model:        entry.Model,
+			Proposals:    entry.Proposals,
+			Chains:       entry.Chains,
+			Burnin:       entry.Burnin,
+			Samples:      entry.Samples,
+			EMIterations: entry.EMIterations,
+			Seed:         entry.Seed,
+		})
+	}
+	return jobs, nil
+}
+
+func loadAlignment(path string) (*phylip.Alignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	aln, err := phylip.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return aln, nil
+}

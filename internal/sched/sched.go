@@ -1,0 +1,377 @@
+// Package sched is the multi-tenant batch scheduler: it accepts many
+// independent estimation jobs — each with its own alignment, likelihood
+// model, sampler configuration and seed — and multiplexes their chains
+// over one shared device pool, instead of the one-pool-per-run model of a
+// standalone estimation ("many alignments, one process").
+//
+// # Scheduling model
+//
+// Every job is a step-driven EM estimation (core.EMRun): all of its
+// mutable state — chain engine, PRNG streams, recorder — is owned by the
+// run, and the scheduler advances it one sampler transition at a time. A
+// fixed set of driver goroutines pops jobs from a ready queue, steps each
+// for a bounded quantum of transitions, and requeues it, so jobs
+// time-slice fairly even when there are far more jobs than drivers.
+// Kernel launches from all jobs land on the one shared device.Pool,
+// whose round-robin chunk claiming keeps the workers fair across tenants.
+//
+// # Determinism
+//
+// A job's trajectory is bit-identical to running it alone with the same
+// seed: per-job PRNG streams are isolated inside the job's EMRun, the
+// scheduler only decides *when* a job steps, never *what* it computes,
+// and the device's reductions are scheduling-independent. The
+// fixed-seed equivalence tests pin this contract.
+//
+// # Failure isolation
+//
+// One job failing (a pathological driving θ whose proposals cannot be
+// resimulated, a bad alignment) records the error in its own Result and
+// does not disturb the rest of the batch. Batch-level failures —
+// cancellation of the context, the shared pool being closed — end the
+// whole run and are returned by RunBatch itself.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpcgs/internal/core"
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/phylip"
+	"mpcgs/internal/subst"
+)
+
+// Job describes one estimation run: the unit of batch admission. Zero
+// values select the same defaults a standalone estimation uses, so a job
+// spec pins only what it cares about.
+type Job struct {
+	// Name labels the job in results and device accounting. Empty selects
+	// "job<index>".
+	Name string
+	// Alignment is the job's sequence data (required, ≥ 3 sequences).
+	Alignment *phylip.Alignment
+	// InitialTheta is the starting driving value θ0 (required, positive).
+	InitialTheta float64
+	// Sampler is one of "gmh" (default), "mh", "heated", "multichain".
+	Sampler string
+	// Model is one of "f81" (default), "jc69", "f84".
+	Model string
+	// Proposals is the GMH proposal-set size N; 0 selects the pool's
+	// worker count.
+	Proposals int
+	// Chains is the heated/multichain chain count; 0 selects the pool's
+	// worker count.
+	Chains int
+	// Burnin (default 1000) and Samples (default 10000) size each EM
+	// iteration's sampling pass.
+	Burnin  int
+	Samples int
+	// EMIterations bounds the outer loop; default 10.
+	EMIterations int
+	// Seed drives all of the job's pseudo-randomness; default 1. Jobs
+	// never share generator state, so equal seeds on different jobs are
+	// legal (they decorrelate through the data unless the data is equal
+	// too).
+	Seed uint64
+}
+
+func (j Job) withDefaults(index, poolWorkers int) Job {
+	if j.Name == "" {
+		j.Name = fmt.Sprintf("job%d", index)
+	}
+	if j.Sampler == "" {
+		j.Sampler = "gmh"
+	}
+	if j.Model == "" {
+		j.Model = "f81"
+	}
+	if j.Proposals <= 0 {
+		j.Proposals = poolWorkers
+	}
+	if j.Chains <= 0 {
+		j.Chains = poolWorkers
+	}
+	if j.Burnin <= 0 {
+		j.Burnin = 1000
+	}
+	if j.Samples <= 0 {
+		j.Samples = 10000
+	}
+	if j.EMIterations <= 0 {
+		j.EMIterations = 10
+	}
+	if j.Seed == 0 {
+		j.Seed = 1
+	}
+	return j
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Name string
+	// Theta is the job's maximum-likelihood estimate.
+	Theta float64
+	// History records the job's EM trajectory.
+	History []core.EMIteration
+	// LastSet is the sample set of the final EM iteration (the posterior
+	// trace the equivalence tests compare).
+	LastSet *core.SampleSet
+	// Steps counts the sampler transitions the scheduler drove.
+	Steps int
+	// Busy is the cumulative time drivers spent stepping this job (its
+	// share of the process, not wall-clock makespan: quanta of different
+	// jobs overlap).
+	Busy time.Duration
+	// Err is the job's failure, if any: an invalid spec, a sampling
+	// error, or the batch-level cancellation that interrupted it.
+	Err error
+}
+
+// Options tunes the scheduler.
+type Options struct {
+	// Drivers is the number of goroutines stepping jobs concurrently.
+	// Non-positive selects the pool's worker count — enough concurrent
+	// tenants to saturate the shared workers, few enough that per-job
+	// working sets stay warm.
+	Drivers int
+	// Quantum is how many sampler transitions a driver performs on one
+	// job before requeuing it (fair time-slicing granularity).
+	// Non-positive selects 64.
+	Quantum int
+}
+
+// runner is one admitted job being driven through its EMRun.
+type runner struct {
+	index int
+	name  string
+	em    *core.EMRun
+	steps int
+	busy  time.Duration
+}
+
+// RunBatch drives every job to completion over the shared pool and
+// returns one Result per job, in job order. Per-job failures are
+// recorded in the results; RunBatch itself returns an error only for
+// batch-level failures: a cancelled context (jobs not yet finished
+// record ctx's error too) or a closed pool.
+func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) ([]Result, error) {
+	if pool == nil {
+		pool = device.NewPool(0)
+		defer pool.Close()
+	}
+	if pool.Closed() {
+		return nil, device.ErrClosed
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	quantum := opts.Quantum
+	if quantum <= 0 {
+		quantum = 64
+	}
+	drivers := opts.Drivers
+	if drivers <= 0 {
+		drivers = pool.Workers()
+	}
+	if drivers > len(jobs) {
+		drivers = len(jobs)
+	}
+
+	// Admission: build each job's evaluator and step-driven estimation on
+	// its own tenant view of the pool. Invalid jobs fail here, in their
+	// own Result, without holding the batch back.
+	ready := make(chan *runner, len(jobs))
+	live := 0
+	for i, job := range jobs {
+		job = job.withDefaults(i, pool.Workers())
+		results[i].Name = job.Name
+		dev, err := pool.Tenant(job.Name)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		em, err := startJob(job, dev)
+		if err != nil {
+			results[i].Err = fmt.Errorf("sched: job %q: %w", job.Name, err)
+			continue
+		}
+		ready <- &runner{index: i, name: job.Name, em: em}
+		live++
+	}
+	if live == 0 {
+		return results, nil
+	}
+
+	// Drivers pop a job, step it for one quantum, requeue it; the last
+	// finished runner closes the queue. A batch-level stop (context
+	// cancelled, pool closed) marks every remaining runner instead of
+	// requeuing it.
+	var mu sync.Mutex // guards live and results
+	finish := func(r *runner, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		res := &results[r.index]
+		res.Steps = r.steps
+		res.Busy = r.busy
+		if err != nil {
+			res.Err = err
+		} else if out, emErr := r.em.Result(); emErr != nil {
+			res.Err = emErr
+		} else {
+			res.Theta = out.Theta
+			res.History = out.History
+			res.LastSet = out.LastSet
+		}
+		live--
+		if live == 0 {
+			close(ready)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range ready {
+				if err := batchErr(ctx, pool); err != nil {
+					finish(r, fmt.Errorf("sched: job %q interrupted: %w", r.name, err))
+					continue
+				}
+				start := time.Now()
+				var stepErr error
+				for s := 0; s < quantum && !r.em.Done(); s++ {
+					if stepErr = r.em.Step(); stepErr != nil {
+						break
+					}
+					r.steps++
+				}
+				r.busy += time.Since(start)
+				switch {
+				case stepErr != nil:
+					finish(r, stepErr)
+				case r.em.Done():
+					finish(r, nil)
+				default:
+					ready <- r
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, batchErr(ctx, pool)
+}
+
+// RunStandalone estimates one job alone in the one-pool-per-run model:
+// its own device, spawned for the job and torn down after. It drives the
+// identical pipeline RunBatch admits jobs through (same defaults, same
+// startJob), so it is both the batch mode's back-to-back baseline —
+// comparable compute-for-compute — and the reference the equivalence
+// tests pin batch traces against.
+func RunStandalone(job Job, workers int) (Result, error) {
+	dev := device.New(workers)
+	defer dev.Close()
+	job = job.withDefaults(0, dev.Workers())
+	res := Result{Name: job.Name}
+	em, err := startJob(job, dev)
+	if err != nil {
+		return res, fmt.Errorf("sched: job %q: %w", job.Name, err)
+	}
+	start := time.Now()
+	for !em.Done() {
+		if err := em.Step(); err != nil {
+			res.Busy = time.Since(start)
+			return res, err
+		}
+		res.Steps++
+	}
+	res.Busy = time.Since(start)
+	out, err := em.Result()
+	if err != nil {
+		return res, err
+	}
+	res.Theta = out.Theta
+	res.History = out.History
+	res.LastSet = out.LastSet
+	return res, nil
+}
+
+// batchErr reports the batch-level stop condition, if any.
+func batchErr(ctx context.Context, pool *device.Pool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if pool.Closed() {
+		return device.ErrClosed
+	}
+	return nil
+}
+
+// startJob assembles one job's estimation pipeline — model, evaluator,
+// starting genealogy, sampler — on the job's tenant device, mirroring
+// what a standalone run builds, and returns it positioned before its
+// first transition.
+func startJob(j Job, dev *device.Device) (*core.EMRun, error) {
+	if j.Alignment == nil {
+		return nil, fmt.Errorf("alignment is required")
+	}
+	if j.InitialTheta <= 0 {
+		return nil, fmt.Errorf("initial theta %v must be positive", j.InitialTheta)
+	}
+	model, err := buildModel(j.Model, j.Alignment)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := felsen.New(model, j.Alignment, dev)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := buildSampler(j, eval, dev)
+	if err != nil {
+		return nil, err
+	}
+	init, err := core.InitialTree(j.Alignment, j.InitialTheta, j.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.StartEM(sampler, init, core.EMConfig{
+		InitialTheta: j.InitialTheta,
+		Iterations:   j.EMIterations,
+		Burnin:       j.Burnin,
+		Samples:      j.Samples,
+		Seed:         j.Seed,
+	}, dev)
+}
+
+func buildModel(kind string, aln *phylip.Alignment) (subst.Model, error) {
+	switch kind {
+	case "f81":
+		return subst.NewF81(aln.BaseFreqs(), true)
+	case "jc69":
+		return subst.NewJC69(), nil
+	case "f84":
+		return subst.NewF84(aln.BaseFreqs(), 2.0, true)
+	default:
+		return nil, fmt.Errorf("unknown model %q", kind)
+	}
+}
+
+func buildSampler(j Job, eval *felsen.Evaluator, dev *device.Device) (core.Sampler, error) {
+	switch j.Sampler {
+	case "gmh":
+		return core.NewGMH(eval, dev, j.Proposals), nil
+	case "mh":
+		return core.NewMH(eval), nil
+	case "heated":
+		return core.NewHeated(eval, dev, j.Chains), nil
+	case "multichain":
+		return core.NewMultiChain(eval, dev, j.Chains), nil
+	default:
+		return nil, fmt.Errorf("unknown sampler %q", j.Sampler)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -296,6 +297,112 @@ func TestPaperbenchGuardRefusesVacuousRun(t *testing.T) {
 		"-experiment", "burnin", "-scale", "quick", "-guard", "../EXPERIMENTS.md")
 	if !strings.Contains(out, "no measured point") {
 		t.Fatalf("vacuous guard run did not explain itself:\n%s", out)
+	}
+}
+
+// extractTheta pulls the final "theta = X" estimate out of CLI output.
+func extractTheta(t *testing.T, out string) string {
+	t.Helper()
+	theta := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "theta = "); ok {
+			theta = strings.TrimSpace(rest)
+		}
+	}
+	if theta == "" {
+		t.Fatalf("no estimate in output:\n%s", out)
+	}
+	return theta
+}
+
+// TestMpcgsCheckpointSigintResume is the end-to-end kill/resume test: a
+// single-run estimation is interrupted with SIGINT (which writes a final
+// checkpoint before exit), then resumed with -resume, and the final
+// estimate must equal the uninterrupted run's exactly.
+func TestMpcgsCheckpointSigintResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	trees := run(t, "mssim", "", "-seed", "41", "8", "1")
+	phy := run(t, "seqgen", trees, "-l", "120", "-seed", "42")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.phy")
+	if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-q", "-workers", "2",
+		"-burnin", "200", "-samples", "12000", "-em-iterations", "2", "-seed", "43"}
+
+	// Uninterrupted reference.
+	ref := extractTheta(t, run(t, "mpcgs", "", append(args, path, "1.0")...))
+
+	// Interrupted run: SIGINT lands mid-estimation; the process must exit
+	// on its own (cancellation, final checkpoint, results printed).
+	ckptDir := filepath.Join(dir, "ckpt")
+	killArgs := append([]string{"-checkpoint", ckptDir, "-checkpoint-every", "200"}, args...)
+	cmd := exec.Command(filepath.Join(binDir, "mpcgs"), append(killArgs, path, "1.0")...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	_ = cmd.Process.Signal(os.Interrupt) // may race with a fast finish; both are fine
+	err := cmd.Wait()
+	if _, statErr := os.Stat(filepath.Join(ckptDir, "batch.json")); statErr != nil {
+		t.Fatalf("no checkpoint file after interrupt (run err: %v): %v", err, statErr)
+	}
+
+	// Resume to completion (repeat in the unlikely event the first resume
+	// is itself too slow — it is not interrupted, so once is enough).
+	out := run(t, "mpcgs", "", append(append([]string{"-resume", ckptDir}, args...), path, "1.0")...)
+	if got := extractTheta(t, out); got != ref {
+		t.Fatalf("resumed estimate %s != uninterrupted %s\n%s", got, ref, out)
+	}
+}
+
+// TestMpcgsBatchResumeSkipsFinished: resuming a completed batch re-reports
+// every job from the checkpoint without re-running it.
+func TestMpcgsBatchResumeSkipsFinished(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	dir := t.TempDir()
+	trees := run(t, "mssim", "", "-seed", "45", "6", "1")
+	phy := run(t, "seqgen", trees, "-l", "100", "-seed", "46")
+	if err := os.WriteFile(filepath.Join(dir, "a.phy"), []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `{
+  "defaults": {"theta": 1.0, "burnin": 50, "samples": 400, "em_iterations": 1, "seed": 9},
+  "jobs": [{"name": "a", "phylip": "a.phy"}]
+}`
+	mpath := filepath.Join(dir, "batch.json")
+	if err := os.WriteFile(mpath, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "ckpt")
+	first := run(t, "mpcgs", "", "-workers", "2", "-batch", mpath, "-checkpoint", ckptDir)
+	second := run(t, "mpcgs", "", "-workers", "2", "-batch", mpath, "-resume", ckptDir)
+	if !strings.Contains(second, "[restored from checkpoint]") {
+		t.Fatalf("resumed batch re-ran the finished job:\n%s", second)
+	}
+	// "job a                theta = X (...)": the estimate is the field
+	// after the "=".
+	jobTheta := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "job a") {
+				fields := strings.Fields(line)
+				for i, f := range fields {
+					if f == "=" && i+1 < len(fields) {
+						return fields[i+1]
+					}
+				}
+			}
+		}
+		return ""
+	}
+	want, got := jobTheta(first), jobTheta(second)
+	if want == "" || got != want {
+		t.Fatalf("restored theta %q != original %q", got, want)
 	}
 }
 

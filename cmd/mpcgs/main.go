@@ -18,6 +18,20 @@
 // where jobs.json is a manifest of per-job phylip files and settings
 // (see internal/sched.Manifest for the format). Each job's result is
 // identical to running it standalone with the same seed.
+//
+// Checkpointing makes long estimations restartable in both modes:
+//
+//	mpcgs -checkpoint ckpt/ -checkpoint-every 5000 seqs.phy 1.0
+//	mpcgs -batch jobs.json -checkpoint ckpt/
+//	mpcgs -batch jobs.json -resume ckpt/
+//
+// -checkpoint writes a versioned snapshot of every run into the directory
+// each N transitions and on SIGINT (the interrupt triggers one final
+// consistent snapshot before exit). -resume restarts from such a
+// directory: finished jobs are skipped, interrupted ones continue from
+// their snapshot with traces bit-identical to a run that was never
+// stopped. Resuming implies continued checkpointing into the same
+// directory.
 package main
 
 import (
@@ -26,11 +40,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"mpcgs"
+	"mpcgs/internal/ckpt"
+	"mpcgs/internal/core"
 	"mpcgs/internal/device"
+	"mpcgs/internal/phylip"
 	"mpcgs/internal/sched"
 )
 
@@ -48,6 +67,9 @@ func main() {
 		growth    = flag.Bool("growth", false, "also estimate an exponential growth rate g")
 		bayesian  = flag.Bool("bayesian", false, "sample the posterior of theta instead of maximizing (LAMARC 2.0's Bayesian mode)")
 		batch     = flag.String("batch", "", "run a batch manifest of estimation jobs over one shared device pool instead of a single estimation")
+		ckptDir   = flag.String("checkpoint", "", "write periodic checkpoints into this directory (restart with -resume)")
+		ckptEvery = flag.Int("checkpoint-every", 1000, "sampler transitions between checkpoint snapshots per job")
+		resumeDir = flag.String("resume", "", "resume from the checkpoint in this directory (implies -checkpoint into it)")
 		quiet     = flag.Bool("q", false, "print only the final estimate")
 	)
 	flag.Usage = func() {
@@ -56,12 +78,21 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	// Resuming continues checkpointing into the same directory, so a
+	// second interruption is just another resume.
+	if *resumeDir != "" && *ckptDir == "" {
+		*ckptDir = *resumeDir
+	}
 	if *batch != "" {
 		if flag.NArg() != 0 {
 			flag.Usage()
 			os.Exit(2)
 		}
-		runBatch(*batch, *workers, *quiet)
+		jobs, err := sched.LoadManifest(*batch)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runBatch(jobs, *workers, *ckptDir, *ckptEvery, *resumeDir, *quiet, false)
 		return
 	}
 	if flag.NArg() != 2 {
@@ -71,6 +102,24 @@ func main() {
 	theta0, err := strconv.ParseFloat(flag.Arg(1), 64)
 	if err != nil || theta0 <= 0 {
 		fatalf("initial theta %q must be a positive number", flag.Arg(1))
+	}
+	if *ckptDir != "" {
+		// Checkpointable single runs go through the same machinery as a
+		// batch of one job, so the snapshot format, resume semantics and
+		// bit-identical-trace guarantee are shared.
+		if *bayesian || *growth || *curve {
+			fatalf("-checkpoint/-resume do not support -bayesian, -growth or -curve")
+		}
+		job, err := singleJob(flag.Arg(0), theta0, *sampler, *model, *proposals, *burnin, *samples, *emIters, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !*quiet {
+			fmt.Printf("mpcgs: %d sequences x %d bp, sampler=%s model=%s (checkpointing to %s)\n",
+				job.Alignment.NSeq(), job.Alignment.SeqLen(), *sampler, *model, *ckptDir)
+		}
+		runBatch([]sched.Job{job}, *workers, *ckptDir, *ckptEvery, *resumeDir, *quiet, true)
+		return
 	}
 	aln, err := mpcgs.LoadAlignment(flag.Arg(0))
 	if err != nil {
@@ -139,27 +188,69 @@ func main() {
 	}
 }
 
-// runBatch is the manifest mode: every job in the manifest estimates its
-// own dataset, all of them multiplexed over one shared device pool by the
-// multi-tenant scheduler. Interrupting the process (SIGINT) cancels the
-// batch cleanly; jobs already finished keep their results.
-func runBatch(path string, workers int, quiet bool) {
-	jobs, err := sched.LoadManifest(path)
+// singleJob builds the batch-of-one job a checkpointable single run
+// becomes. The job name derives from the data file (like a manifest entry
+// without a name), so a resume of the same invocation finds its state.
+func singleJob(path string, theta0 float64, sampler, model string, proposals, burnin, samples, emIters int, seed uint64) (sched.Job, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		fatalf("%v", err)
+		return sched.Job{}, err
+	}
+	defer f.Close()
+	aln, err := phylip.Read(f)
+	if err != nil {
+		return sched.Job{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sched.Job{
+		Name:         jobNameFromPath(path),
+		Alignment:    aln,
+		InitialTheta: theta0,
+		Sampler:      sampler,
+		Model:        model,
+		Proposals:    proposals,
+		Burnin:       burnin,
+		Samples:      samples,
+		EMIterations: emIters,
+		Seed:         seed,
+	}, nil
+}
+
+func jobNameFromPath(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// runBatch is the scheduler mode shared by -batch manifests and
+// checkpointable single runs: every job multiplexes over one shared
+// device pool, SIGINT cancels the batch cleanly (writing a final
+// consistent checkpoint when checkpointing is on), and -resume restores
+// job state from a previous invocation's checkpoint directory.
+func runBatch(jobs []sched.Job, workers int, ckptDir string, ckptEvery int, resumeDir string, quiet, single bool) {
+	opts := sched.Options{
+		Checkpoint: sched.CheckpointOptions{Dir: ckptDir, Every: ckptEvery},
+	}
+	if resumeDir != "" {
+		resume, err := ckpt.Load(resumeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Resume = resume
 	}
 	pool := device.NewPool(workers)
 	defer pool.Close()
-	if !quiet {
+	if !quiet && !single {
 		fmt.Printf("mpcgs: batch of %d jobs over %d shared workers\n", len(jobs), pool.Workers())
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
-	results, err := sched.RunBatch(ctx, pool, jobs, sched.Options{})
+	results, err := sched.RunBatch(ctx, pool, jobs, opts)
 	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpcgs: batch aborted: %v\n", err)
+		if ckptDir != "" && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "mpcgs: checkpoint written; resume with -resume %s\n", ckptDir)
+		}
 	}
 	failed := 0
 	for _, r := range results {
@@ -168,10 +259,29 @@ func runBatch(path string, workers int, quiet bool) {
 			fmt.Printf("job %-16s FAILED: %v\n", r.Name, r.Err)
 			continue
 		}
-		fmt.Printf("job %-16s theta = %-10.6g (%d EM iterations, %d steps)\n",
-			r.Name, r.Theta, len(r.History), r.Steps)
+		if single {
+			if !quiet {
+				for i, h := range r.History {
+					fmt.Printf("  EM %2d: theta %.6g -> %.6g  (acceptance %.3f, mean logL %.2f)\n",
+						i+1, h.ThetaIn, h.ThetaOut, h.AcceptanceRate, h.MeanLogLik)
+				}
+			}
+			if !quiet && r.LastSet != nil {
+				d := core.Diagnose(r.LastSet)
+				fmt.Printf("  diagnostics: ESS %.0f, Geweke z %.2f, suggested burn-in %d (sufficient: %v)\n",
+					d.ESS, d.GewekeZ, d.SuggestedBurnin, d.BurninSufficient)
+			}
+			fmt.Printf("theta = %.6g\n", r.Theta)
+			continue
+		}
+		note := ""
+		if r.Resumed {
+			note = " [restored from checkpoint]"
+		}
+		fmt.Printf("job %-16s theta = %-10.6g (%d EM iterations, %d steps)%s\n",
+			r.Name, r.Theta, len(r.History), r.Steps, note)
 	}
-	if !quiet {
+	if !quiet && !single {
 		fmt.Printf("batch: %d ok, %d failed in %.2fs (%.2f jobs/s)\n",
 			len(results)-failed, failed, wall.Seconds(), float64(len(results))/wall.Seconds())
 	}

@@ -1,0 +1,238 @@
+// Package ckpt is the checkpoint/restore subsystem: a versioned on-disk
+// snapshot format for runs of the sampler, plus the encode/decode plumbing
+// between the wire format and the live snapshot types of internal/core.
+//
+// # What a checkpoint is
+//
+// A checkpoint captures a batch of estimation jobs at between-steps
+// boundaries — the only points where a run's state is consistent — so a
+// killed process can resume and produce traces bit-identical to the
+// uninterrupted run. A single standalone estimation checkpoints as a batch
+// of one job; the file format does not distinguish the two.
+//
+// Only non-derivable state is stored: tree topology and exact node ages,
+// every PRNG state (the full 624-word Mersenne Twister vectors), the
+// recorded trace so far, counters, and the EM loop position. Everything
+// else — conditional-likelihood caches, sufficient statistics, age
+// buffers — is a pure function of that state and is rebuilt on restore.
+//
+// # Wire format
+//
+// The file is a single JSON document, written atomically (temp file +
+// rename) so a crash mid-write never corrupts an existing checkpoint. It
+// leads with a format version; Load rejects versions this build does not
+// understand instead of guessing.
+//
+// Exactness is non-negotiable: resumed chains must draw identical floats.
+// Genealogies travel as a newick round-trip (human-readable topology, with
+// interior labels carrying the node arena indices the proposal kernel's
+// target-picking depends on) paired with exact hexadecimal float ages;
+// bulk float arrays (traces) travel as base64 of their IEEE-754 bit
+// patterns; scalar floats that feed computation (θ, β) travel as
+// hexadecimal float literals. JSON's shortest-decimal floats are kept only
+// for reporting-grade history fields.
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion is the checkpoint format this build reads and writes.
+// Restore rejects files with any other version.
+const FormatVersion = 1
+
+// FileName is the checkpoint file inside a checkpoint directory.
+const FileName = "batch.json"
+
+// Batch is the on-disk checkpoint of a whole batch: one entry per job,
+// each either finished (its result is carried so a resume can skip the
+// work and still report it) or paused (a resumable EM snapshot).
+type Batch struct {
+	Version int        `json:"version"`
+	Jobs    []BatchJob `json:"jobs"`
+}
+
+// Job status values.
+const (
+	// StatusPaused marks a job interrupted at a step boundary; EM holds
+	// its resumable state.
+	StatusPaused = "paused"
+	// StatusDone marks a finished job; Theta/History/Steps hold its
+	// result and a resume skips it.
+	StatusDone = "done"
+	// StatusFailed marks a job that ended in an error; a resume reports
+	// the recorded error without re-running it.
+	StatusFailed = "failed"
+)
+
+// BatchJob is one job's entry in a batch checkpoint.
+type BatchJob struct {
+	Name string `json:"name"`
+	// Fingerprint hashes the job's spec and alignment; restore refuses to
+	// apply a snapshot to a job whose manifest entry changed since it was
+	// taken.
+	Fingerprint string `json:"fingerprint"`
+	Status      string `json:"status"`
+	// Steps counts sampler transitions driven so far (informational).
+	Steps int `json:"steps,omitempty"`
+	// Theta and History carry a finished job's result.
+	Theta   string        `json:"theta,omitempty"`
+	History []EMIteration `json:"history,omitempty"`
+	// Error carries a failed job's error text.
+	Error string `json:"error,omitempty"`
+	// EM is a paused job's resumable state.
+	EM *EMState `json:"em,omitempty"`
+}
+
+// EMIteration is one EM round in wire form. All four fields are
+// hexadecimal floats: ThetaIn/ThetaOut round-trip into the resumed loop's
+// driving value and MeanLogLik may legitimately be -Inf, which plain JSON
+// numbers cannot carry.
+type EMIteration struct {
+	ThetaIn        string `json:"theta_in"`
+	ThetaOut       string `json:"theta_out"`
+	AcceptanceRate string `json:"acceptance_rate"`
+	MeanLogLik     string `json:"mean_loglik"`
+}
+
+// EMState is the wire form of core.EMSnapshot.
+type EMState struct {
+	Theta   string        `json:"theta"` // hex float
+	It      int           `json:"it"`
+	Cur     *Tree         `json:"cur"`
+	History []EMIteration `json:"history,omitempty"`
+	Active  *Step         `json:"active,omitempty"`
+}
+
+// Step is the wire form of core.StepSnapshot.
+type Step struct {
+	Sampler string     `json:"sampler"`
+	Step    int        `json:"step"`
+	Cur     int        `json:"cur,omitempty"`
+	Host    *RNGState  `json:"host,omitempty"`
+	Streams []RNGState `json:"streams,omitempty"`
+	Chains  []Chain    `json:"chains,omitempty"`
+	Trace   *Trace     `json:"trace,omitempty"`
+
+	Accepted        int `json:"accepted,omitempty"`
+	Proposals       int `json:"proposals,omitempty"`
+	FailedProposals int `json:"failed_proposals,omitempty"`
+	Swaps           int `json:"swaps,omitempty"`
+	SwapAttempts    int `json:"swap_attempts,omitempty"`
+
+	Subs []*Step `json:"subs,omitempty"`
+}
+
+// Chain is the wire form of core.ChainSnapshot.
+type Chain struct {
+	Tree   Tree   `json:"tree"`
+	Beta   string `json:"beta"` // hex float
+	Serial bool   `json:"serial,omitempty"`
+}
+
+// Tree is a genealogy in wire form: a newick rendering of the topology
+// (tips by name, interior nodes labelled #<arena-index> so node identities
+// survive the round-trip — the proposal kernel addresses neighbourhoods by
+// arena index) plus exact hexadecimal ages for every interior node in
+// arena order, and the tip names in arena order. Branch lengths in the
+// newick string are decimal renderings for human eyes; the ages field is
+// authoritative on restore.
+type Tree struct {
+	Newick string   `json:"newick"`
+	Ages   []string `json:"ages"`
+	Tips   []string `json:"tips"`
+}
+
+// RNGState is the wire form of rng.MTState: the 624-word state vector as
+// base64 of its little-endian bytes, plus the read index.
+type RNGState struct {
+	State string `json:"state"`
+	Index int    `json:"index"`
+}
+
+// Trace is a recorded trace in wire form: base64-encoded IEEE-754 bit
+// patterns, with the per-draw age rows flattened row-major.
+type Trace struct {
+	N      int    `json:"n"`
+	NAges  int    `json:"n_ages"`
+	Stats  string `json:"stats"`
+	Ages   string `json:"ages"`
+	LogLik string `json:"loglik"`
+}
+
+// Path returns the checkpoint file path inside dir.
+func Path(dir string) string { return filepath.Join(dir, FileName) }
+
+// Save writes the batch checkpoint into dir atomically: the document is
+// marshalled to a temp file in the same directory and renamed over the
+// previous checkpoint, so readers see either the old snapshot or the new
+// one, never a torn write.
+func Save(dir string, b *Batch) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	b.Version = FormatVersion
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".batch-*.tmp")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), Path(dir)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// Load reads the batch checkpoint from dir, rejecting unknown format
+// versions before decoding anything else.
+func Load(dir string) (*Batch, error) {
+	raw, err := os.ReadFile(Path(dir))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", Path(dir), err)
+	}
+	if probe.Version != FormatVersion {
+		return nil, fmt.Errorf("ckpt: %s: format version %d not supported by this build (want %d)",
+			Path(dir), probe.Version, FormatVersion)
+	}
+	var b Batch
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", Path(dir), err)
+	}
+	for i, j := range b.Jobs {
+		if j.Name == "" {
+			return nil, fmt.Errorf("ckpt: %s: job %d has no name", Path(dir), i)
+		}
+		switch j.Status {
+		case StatusPaused:
+			if j.EM == nil {
+				return nil, fmt.Errorf("ckpt: %s: paused job %q has no EM state", Path(dir), j.Name)
+			}
+		case StatusDone, StatusFailed:
+		default:
+			return nil, fmt.Errorf("ckpt: %s: job %q has unknown status %q", Path(dir), j.Name, j.Status)
+		}
+	}
+	return &b, nil
+}

@@ -1,0 +1,306 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpcgs/internal/core"
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/gtree"
+	"mpcgs/internal/rng"
+	"mpcgs/internal/seqgen"
+	"mpcgs/internal/subst"
+)
+
+// fixtureTree simulates a random coalescent genealogy whose ages exercise
+// the full mantissa.
+func fixtureTree(t *testing.T, n int, seed uint64) *gtree.Tree {
+	t.Helper()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "seq" + string(rune('A'+i))
+	}
+	tree, err := gtree.RandomCoalescent(names, 1.0, rng.NewMT19937(uint32(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestTreeRoundTripExact: the newick-based tree codec preserves topology,
+// node arena indices and bit-exact ages.
+func TestTreeRoundTripExact(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		tree := fixtureTree(t, 7, seed)
+		got, err := DecodeTree(EncodeTree(tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Root != tree.Root {
+			t.Fatalf("root %d != %d", got.Root, tree.Root)
+		}
+		for i := range tree.Nodes {
+			w, g := tree.Nodes[i], got.Nodes[i]
+			if w.Parent != g.Parent || w.Child != g.Child || w.Name != g.Name {
+				t.Fatalf("node %d links differ: %+v vs %+v", i, g, w)
+			}
+			if math.Float64bits(w.Age) != math.Float64bits(g.Age) {
+				t.Fatalf("node %d age not bit-identical: %x vs %x",
+					i, math.Float64bits(g.Age), math.Float64bits(w.Age))
+			}
+		}
+	}
+}
+
+// TestTreeRoundTripAwkwardNames: tip names requiring newick quoting
+// survive the round-trip.
+func TestTreeRoundTripAwkwardNames(t *testing.T) {
+	names := []string{"plain", "with space", "par(en", "quo'te", "semi;colon"}
+	tree, err := gtree.RandomCoalescent(names, 1.0, rng.NewMT19937(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTree(EncodeTree(tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < got.NTips(); i++ {
+		if got.Nodes[i].Name != tree.Nodes[i].Name {
+			t.Fatalf("tip %d name %q != %q", i, got.Nodes[i].Name, tree.Nodes[i].Name)
+		}
+	}
+}
+
+// TestDecodeTreeRejectsCorruption: a decoded tree is validated, and
+// structural lies in the wire form are caught.
+func TestDecodeTreeRejectsCorruption(t *testing.T) {
+	tree := fixtureTree(t, 5, 3)
+	base := EncodeTree(tree)
+
+	bad := base
+	bad.Ages = base.Ages[:len(base.Ages)-1]
+	if _, err := DecodeTree(bad); err == nil {
+		t.Error("short ages accepted")
+	}
+	bad = base
+	bad.Tips = append([]string{}, base.Tips...)
+	bad.Tips[0] = base.Tips[1] // duplicate
+	if _, err := DecodeTree(bad); err == nil {
+		t.Error("duplicate tip names accepted")
+	}
+	bad = base
+	bad.Newick = strings.Replace(base.Newick, "#", "!", 1)
+	if _, err := DecodeTree(bad); err == nil {
+		t.Error("interior node without an arena index accepted")
+	}
+	bad = base
+	bad.Ages = append([]string{}, base.Ages...)
+	bad.Ages[len(bad.Ages)-1] = "-0x1p-1" // negative age breaks validation
+	if _, err := DecodeTree(bad); err == nil {
+		t.Error("invalid ages accepted")
+	}
+}
+
+// TestRNGRoundTrip: a generator travels through the wire format and keeps
+// drawing the identical sequence.
+func TestRNGRoundTrip(t *testing.T) {
+	m := rng.NewMT19937(7)
+	for i := 0; i < 1234; i++ {
+		m.Uint32()
+	}
+	dec, err := DecodeRNG(EncodeRNG(m.State()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rng.MT19937{}
+	if err := r.SetState(dec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Uint32() != m.Uint32() {
+			t.Fatalf("restored stream diverged at output %d", i)
+		}
+	}
+}
+
+// TestTraceRoundTripExact covers the bulk float codec, including values
+// plain JSON numbers cannot carry.
+func TestTraceRoundTripExact(t *testing.T) {
+	trace := &core.TraceSnapshot{
+		Stats:  []float64{1.0 / 3.0, math.Pi, 0, math.MaxFloat64},
+		LogLik: []float64{-12.3456789, math.Inf(-1), -0.0, 5e-324},
+		Ages: [][]float64{
+			{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}, {0.7, 0.8},
+		},
+	}
+	got, err := DecodeTrace(EncodeTrace(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace.Stats {
+		if math.Float64bits(got.Stats[i]) != math.Float64bits(trace.Stats[i]) ||
+			math.Float64bits(got.LogLik[i]) != math.Float64bits(trace.LogLik[i]) {
+			t.Fatalf("draw %d not bit-identical", i)
+		}
+		for k := range trace.Ages[i] {
+			if got.Ages[i][k] != trace.Ages[i][k] {
+				t.Fatalf("draw %d age %d differs", i, k)
+			}
+		}
+	}
+	if dec, err := DecodeTrace(nil); err != nil || dec != nil {
+		t.Fatalf("nil trace round-trip: %v, %v", dec, err)
+	}
+}
+
+// TestStepSnapshotWireRoundTrip runs a real sampler, snapshots it, pushes
+// the snapshot through JSON, and requires the resumed run to be
+// bit-identical — the end-to-end statement that the wire format loses
+// nothing a chain needs.
+func TestStepSnapshotWireRoundTrip(t *testing.T) {
+	dev := device.Serial()
+	aln, _, err := seqgen.SimulateData(6, 60, 1.0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := felsen.New(model, aln, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := core.InitialTree(aln, 1.0, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ChainConfig{Theta: 1.0, Burnin: 10, Samples: 80, Seed: 79}
+
+	for _, tc := range []struct {
+		name string
+		s    core.StepSampler
+	}{
+		{"mh", core.NewMH(eval)},
+		{"gmh", core.NewGMH(eval, dev, 3)},
+		{"heated", core.NewHeated(eval, dev, 2)},
+		{"multichain", core.NewMultiChain(eval, dev, 2)},
+	} {
+		want, err := tc.s.Run(init, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := tc.s.Start(init, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 13; i++ {
+			if err := run.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := run.(core.SnapshotStepper).Snapshot()
+		data, err := json.Marshal(EncodeStep(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire Step
+		if err := json.Unmarshal(data, &wire); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeStep(&wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := tc.s.Start(init, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.(core.SnapshotStepper).Restore(decoded); err != nil {
+			t.Fatal(err)
+		}
+		for !resumed.Done() {
+			if err := resumed.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := resumed.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Samples.Stats) != len(want.Samples.Stats) {
+			t.Fatalf("%s: trace lengths differ", tc.name)
+		}
+		for i := range want.Samples.Stats {
+			if want.Samples.Stats[i] != got.Samples.Stats[i] ||
+				want.Samples.LogLik[i] != got.Samples.LogLik[i] {
+				t.Fatalf("%s: draw %d differs after wire round-trip", tc.name, i)
+			}
+		}
+	}
+}
+
+// TestSaveLoad covers the file layer: atomic write, load, and version
+// rejection.
+func TestSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	b := &Batch{Jobs: []BatchJob{
+		{Name: "a", Fingerprint: "f1", Status: StatusDone, Theta: hexFloat(1.5), Steps: 10},
+		{Name: "b", Fingerprint: "f2", Status: StatusFailed, Error: "boom"},
+	}}
+	if err := Save(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != FormatVersion || len(got.Jobs) != 2 || got.Jobs[0].Name != "a" || got.Jobs[1].Error != "boom" {
+		t.Fatalf("loaded %+v", got)
+	}
+	// No leftover temp files after the atomic rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != FileName {
+		t.Fatalf("directory contents: %v", entries)
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(Path(dir), []byte(`{"version": 999, "jobs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "version 999") {
+		t.Fatalf("unknown version not rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsMalformedJobs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(Path(dir), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`{"version": 1, "jobs": [{"name": "", "status": "done"}]}`)
+	if _, err := Load(dir); err == nil {
+		t.Error("nameless job accepted")
+	}
+	write(`{"version": 1, "jobs": [{"name": "x", "status": "parked"}]}`)
+	if _, err := Load(dir); err == nil {
+		t.Error("unknown status accepted")
+	}
+	write(`{"version": 1, "jobs": [{"name": "x", "status": "paused"}]}`)
+	if _, err := Load(dir); err == nil {
+		t.Error("paused job without EM state accepted")
+	}
+}

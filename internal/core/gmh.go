@@ -245,3 +245,70 @@ func (r *gmhRun) Finish() (*Result, error) {
 	r.res.Final = r.set[r.cur].Clone()
 	return r.res, nil
 }
+
+// Snapshot implements SnapshotStepper. Only the current slot's tree is
+// carried: every other slot — tree, weight, statistic, ages — is rewritten
+// by the proposal kernel before the next round reads it. The slot index
+// itself must survive, because it decides how streams map onto slots and
+// where the current state sits in the index-chain walk.
+func (r *gmhRun) Snapshot() *StepSnapshot {
+	return &StepSnapshot{
+		Sampler:  "gmh",
+		Step:     r.out.Len(),
+		Cur:      r.cur,
+		Host:     r.host.State(),
+		Streams:  r.streams.State(),
+		Chains:   []ChainSnapshot{{Tree: r.set[r.cur].Clone(), Beta: 1}},
+		Trace:    r.rec.snapshot(),
+		Counters: countersOf(r.res),
+	}
+}
+
+// Restore implements SnapshotStepper.
+func (r *gmhRun) Restore(s *StepSnapshot) error {
+	if s.Sampler != "gmh" {
+		return fmt.Errorf("core: %q snapshot restored into a gmh run", s.Sampler)
+	}
+	if len(s.Chains) != 1 || s.Chains[0].Tree == nil {
+		return fmt.Errorf("core: gmh snapshot has no current-state tree")
+	}
+	if s.Cur < 0 || s.Cur > r.n {
+		return fmt.Errorf("core: gmh snapshot slot index %d out of range [0, %d]", s.Cur, r.n)
+	}
+	if s.Trace == nil || len(s.Trace.Stats) != s.Step || s.Step > r.total {
+		return fmt.Errorf("core: gmh snapshot trace does not match step %d", s.Step)
+	}
+	tree := s.Chains[0].Tree
+	if tree.NTips() != r.set[0].NTips() {
+		return fmt.Errorf("core: gmh snapshot tree has %d tips, run has %d", tree.NTips(), r.set[0].NTips())
+	}
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("core: gmh snapshot tree invalid: %w", err)
+	}
+	if err := r.host.SetState(s.Host); err != nil {
+		return err
+	}
+	if err := r.streams.SetState(s.Streams); err != nil {
+		return fmt.Errorf("core: gmh snapshot has %d proposal streams, run is configured for %d: %w",
+			len(s.Streams), r.n, err)
+	}
+	r.cur = s.Cur
+	// Every slot gets the tree so the arena stays structurally valid; only
+	// the current slot's derived values matter — the rest are overwritten
+	// by the next round's kernel.
+	for i := range r.set {
+		r.set[i].CopyFrom(tree)
+	}
+	if r.cache != nil {
+		r.logw[r.cur] = r.g.eval.Rebase(r.cache, r.set[r.cur])
+	} else {
+		r.logw[r.cur] = r.g.eval.LogLikelihood(r.set[r.cur])
+	}
+	r.ages[r.cur] = r.set[r.cur].CoalescentAgesInto(r.ages[r.cur])
+	r.stats[r.cur] = sumKKTFromAges(r.out.NTips, r.ages[r.cur])
+	if err := r.rec.restore(s.Trace); err != nil {
+		return err
+	}
+	s.Counters.applyTo(r.res)
+	return nil
+}

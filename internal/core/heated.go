@@ -69,9 +69,11 @@ type heatedRun struct {
 	swapEvery int
 	total     int
 
+	theta    float64
 	betas    []float64
 	states   []*chainState
 	host     *rng.MT19937
+	streams  *rng.StreamSet
 	accepted []bool
 	kernel   func(i int)
 
@@ -122,12 +124,13 @@ func (h *Heated) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 		p:         p,
 		swapEvery: swapEvery,
 		total:     cfg.Burnin + cfg.Samples,
+		theta:     cfg.Theta,
 		betas:     betas,
 		host:      seedSource(cfg.Seed, 5),
+		streams:   rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f),
 		accepted:  make([]bool, p),
 		rec:       newRecorder(init.NTips(), cfg),
 	}
-	streams := rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f)
 
 	// One engine state per rung: tree pair, delta cache, resimulation
 	// scratch and tempering exponent, driven by the rung's own stream.
@@ -144,7 +147,7 @@ func (h *Heated) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	// built once and reused by every launch. A rung whose resimulation
 	// lands in an infeasible region simply skips the move.
 	r.kernel = func(i int) {
-		acc, _ := r.states[i].step(cfg.Theta, streams.Stream(i))
+		acc, _ := r.states[i].step(r.theta, r.streams.Stream(i))
 		r.accepted[i] = acc
 	}
 	return r, nil
@@ -186,4 +189,64 @@ func (r *heatedRun) Done() bool { return r.step >= r.total }
 func (r *heatedRun) Finish() (*Result, error) {
 	r.res.Final = r.states[0].cur.Clone()
 	return r.res, nil
+}
+
+// Snapshot implements SnapshotStepper: every rung's chain state in ladder
+// order, plus the swap generator and all rung streams.
+func (r *heatedRun) Snapshot() *StepSnapshot {
+	chains := make([]ChainSnapshot, r.p)
+	for i, st := range r.states {
+		chains[i] = st.Snapshot()
+	}
+	return &StepSnapshot{
+		Sampler:  "heated",
+		Step:     r.step,
+		Host:     r.host.State(),
+		Streams:  r.streams.State(),
+		Chains:   chains,
+		Trace:    r.rec.snapshot(),
+		Counters: countersOf(r.res),
+	}
+}
+
+// Restore implements SnapshotStepper.
+func (r *heatedRun) Restore(s *StepSnapshot) error {
+	if s.Sampler != "heated" {
+		return fmt.Errorf("core: %q snapshot restored into a heated run", s.Sampler)
+	}
+	if len(s.Chains) != r.p {
+		return fmt.Errorf("core: heated snapshot has %d rungs, run is configured for %d", len(s.Chains), r.p)
+	}
+	if s.Step < 0 || s.Step > r.total {
+		return fmt.Errorf("core: heated snapshot at step %d, run has %d", s.Step, r.total)
+	}
+	if s.Trace == nil || len(s.Trace.Stats) != s.Step {
+		return fmt.Errorf("core: heated snapshot trace does not match step %d", s.Step)
+	}
+	for i := range s.Chains {
+		// Swaps re-pin β to the ladder position, so a rung's snapshot β
+		// must equal the run's recomputed ladder exactly; a mismatch means
+		// Chains or MaxTemp changed since the snapshot.
+		if s.Chains[i].Beta != r.betas[i] {
+			return fmt.Errorf("core: heated snapshot rung %d has beta %v, ladder has %v (MaxTemp/Chains changed?)",
+				i, s.Chains[i].Beta, r.betas[i])
+		}
+	}
+	if err := r.host.SetState(s.Host); err != nil {
+		return err
+	}
+	if err := r.streams.SetState(s.Streams); err != nil {
+		return err
+	}
+	for i := range s.Chains {
+		if err := r.states[i].RestoreChainState(s.Chains[i]); err != nil {
+			return fmt.Errorf("core: heated rung %d: %w", i, err)
+		}
+	}
+	if err := r.rec.restore(s.Trace); err != nil {
+		return err
+	}
+	s.Counters.applyTo(r.res)
+	r.step = s.Step
+	return nil
 }

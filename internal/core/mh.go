@@ -43,7 +43,7 @@ func (m *MH) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 // mhRun is one started MH chain: a Stepper over single Metropolis steps.
 type mhRun struct {
 	theta float64
-	src   rng.Source
+	src   *rng.MT19937
 	st    *chainState
 	rec   *recorder
 	res   *Result
@@ -95,4 +95,44 @@ func (r *mhRun) Done() bool { return r.step >= r.total }
 func (r *mhRun) Finish() (*Result, error) {
 	r.res.Final = r.st.cur
 	return r.res, nil
+}
+
+// Snapshot implements SnapshotStepper.
+func (r *mhRun) Snapshot() *StepSnapshot {
+	return &StepSnapshot{
+		Sampler:  "mh",
+		Step:     r.step,
+		Host:     r.src.State(),
+		Chains:   []ChainSnapshot{r.st.Snapshot()},
+		Trace:    r.rec.snapshot(),
+		Counters: countersOf(r.res),
+	}
+}
+
+// Restore implements SnapshotStepper.
+func (r *mhRun) Restore(s *StepSnapshot) error {
+	if s.Sampler != "mh" {
+		return fmt.Errorf("core: %q snapshot restored into an mh run", s.Sampler)
+	}
+	if len(s.Chains) != 1 {
+		return fmt.Errorf("core: mh snapshot has %d chains, want 1", len(s.Chains))
+	}
+	if s.Step < 0 || s.Step > r.total {
+		return fmt.Errorf("core: mh snapshot at step %d, run has %d", s.Step, r.total)
+	}
+	if s.Trace == nil || len(s.Trace.Stats) != s.Step {
+		return fmt.Errorf("core: mh snapshot trace does not match step %d", s.Step)
+	}
+	if err := r.src.SetState(s.Host); err != nil {
+		return err
+	}
+	if err := r.st.RestoreChainState(s.Chains[0]); err != nil {
+		return err
+	}
+	if err := r.rec.restore(s.Trace); err != nil {
+		return err
+	}
+	s.Counters.applyTo(r.res)
+	r.step = s.Step
+	return nil
 }

@@ -18,6 +18,13 @@ import (
 // resimulation scratch) unless SerialEval restores the reference mode;
 // cheaper steps do not change the Amdahl argument, which is about burn-in
 // replication, not per-step cost.
+//
+// The sampler is step-driven like the others: one Step is a parallel
+// sweep in which every unfinished chain takes one Metropolis step on the
+// device. Chains are fully independent — each owns its generator, engine
+// state and recorder — so the lockstep sweeps produce exactly the draws
+// the old run-each-chain-to-completion layout produced, and the sweep
+// boundary is a consistent point to checkpoint the whole ensemble.
 type MultiChain struct {
 	eval   *felsen.Evaluator
 	dev    *device.Device
@@ -44,6 +51,23 @@ func (m *MultiChain) Name() string { return "multichain" }
 // are pooled per chain, the set instead marks Burnin as 0 and excludes
 // burn-in draws entirely, which is the standard pooling.
 func (m *MultiChain) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	return runStepped(m, init, cfg)
+}
+
+// mcRun is one started multichain ensemble: P independent MH runs driven
+// in lockstep sweeps.
+type mcRun struct {
+	m       *MultiChain
+	samples int // pooled post-burn-in quota
+	nTips   int
+	theta   float64
+	subs    []*mhRun
+	errs    []error
+	kernel  func(chain int)
+}
+
+// Start implements StepSampler.
+func (m *MultiChain) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -52,47 +76,115 @@ func (m *MultiChain) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
 		return nil, fmt.Errorf("core: MultiChain needs at least 1 chain, got %d", p)
 	}
 	perChain := (cfg.Samples + p - 1) / p
-	results := make([]*Result, p)
-	errs := make([]error, p)
-	m.dev.Launch(p, func(chain int) {
+	r := &mcRun{
+		m:       m,
+		samples: cfg.Samples,
+		nTips:   init.NTips(),
+		theta:   cfg.Theta,
+		subs:    make([]*mhRun, p),
+		errs:    make([]error, p),
+	}
+	for chain := 0; chain < p; chain++ {
 		sub := NewMH(m.eval)
 		sub.SerialEval = m.SerialEval
-		results[chain], errs[chain] = sub.Run(init, ChainConfig{
+		run, err := sub.Start(init, ChainConfig{
 			Theta:   cfg.Theta,
 			Burnin:  cfg.Burnin,
 			Samples: perChain,
 			Seed:    cfg.Seed + uint64(chain)*0x01000193,
 		})
-	})
-	for chain, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: chain %d: %w", chain, err)
 		}
+		r.subs[chain] = run.(*mhRun)
 	}
+	r.kernel = func(chain int) {
+		if sub := r.subs[chain]; !sub.Done() {
+			r.errs[chain] = sub.Step()
+		}
+	}
+	return r, nil
+}
+
+// Step implements Stepper: one parallel sweep, each unfinished chain
+// advancing by one Metropolis step.
+func (r *mcRun) Step() error {
+	r.m.dev.Launch(len(r.subs), r.kernel)
+	for chain, err := range r.errs {
+		if err != nil {
+			return fmt.Errorf("core: chain %d: %w", chain, err)
+		}
+	}
+	return nil
+}
+
+// Done implements Stepper.
+func (r *mcRun) Done() bool {
+	for _, sub := range r.subs {
+		if !sub.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Finish implements Stepper: pool the chains' post-burn-in draws, exactly
+// the reduction the run-to-completion layout performed.
+func (r *mcRun) Finish() (*Result, error) {
 	out := &SampleSet{
-		NTips:  init.NTips(),
-		Theta0: cfg.Theta,
+		NTips:  r.nTips,
+		Theta0: r.theta,
 		Burnin: 0,
-		Stats:  make([]float64, 0, cfg.Samples),
-		Ages:   make([][]float64, 0, cfg.Samples),
-		LogLik: make([]float64, 0, cfg.Samples),
+		Stats:  make([]float64, 0, r.samples),
+		Ages:   make([][]float64, 0, r.samples),
+		LogLik: make([]float64, 0, r.samples),
 	}
 	res := &Result{Samples: out}
-	for _, r := range results {
-		res.Accepted += r.Accepted
-		res.Proposals += r.Proposals
-		stats := r.Samples.PostBurninStats()
-		agesList := r.Samples.PostBurninAges()
-		lls := r.Samples.PostBurninLogLik()
+	for _, sub := range r.subs {
+		sr, err := sub.Finish()
+		if err != nil {
+			return nil, err
+		}
+		res.Accepted += sr.Accepted
+		res.Proposals += sr.Proposals
+		stats := sr.Samples.PostBurninStats()
+		agesList := sr.Samples.PostBurninAges()
+		lls := sr.Samples.PostBurninLogLik()
 		for i := range stats {
-			if out.Len() >= cfg.Samples {
+			if out.Len() >= r.samples {
 				break
 			}
 			out.Stats = append(out.Stats, stats[i])
 			out.Ages = append(out.Ages, agesList[i])
 			out.LogLik = append(out.LogLik, lls[i])
 		}
+		res.Final = sr.Final
 	}
-	res.Final = results[p-1].Final
 	return res, nil
+}
+
+// Snapshot implements SnapshotStepper: one MH snapshot per chain, in
+// chain order.
+func (r *mcRun) Snapshot() *StepSnapshot {
+	subs := make([]*StepSnapshot, len(r.subs))
+	for i, sub := range r.subs {
+		subs[i] = sub.Snapshot()
+	}
+	return &StepSnapshot{Sampler: "multichain", Subs: subs}
+}
+
+// Restore implements SnapshotStepper.
+func (r *mcRun) Restore(s *StepSnapshot) error {
+	if s.Sampler != "multichain" {
+		return fmt.Errorf("core: %q snapshot restored into a multichain run", s.Sampler)
+	}
+	if len(s.Subs) != len(r.subs) {
+		return fmt.Errorf("core: multichain snapshot has %d chains, run is configured for %d", len(s.Subs), len(r.subs))
+	}
+	for i, sub := range s.Subs {
+		if err := r.subs[i].Restore(sub); err != nil {
+			return fmt.Errorf("core: chain %d: %w", i, err)
+		}
+	}
+	return nil
 }

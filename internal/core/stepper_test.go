@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mpcgs/internal/device"
+	"mpcgs/internal/gtree"
 )
 
 // Compile-time: the schedulable samplers expose the step-driven interface.
@@ -11,7 +12,17 @@ var (
 	_ StepSampler = (*MH)(nil)
 	_ StepSampler = (*GMH)(nil)
 	_ StepSampler = (*Heated)(nil)
+	_ StepSampler = (*MultiChain)(nil)
 )
+
+// coarseOnly hides a sampler's step interface, standing in for a sampler
+// that only knows how to run a whole pass at once.
+type coarseOnly struct{ s Sampler }
+
+func (c coarseOnly) Name() string { return c.s.Name() }
+func (c coarseOnly) Run(init *gtree.Tree, cfg ChainConfig) (*Result, error) {
+	return c.s.Run(init, cfg)
+}
 
 // emResultsEqual requires two estimations to have identical trajectories:
 // same θ path, same recorded draws in the final sample set.
@@ -90,7 +101,7 @@ func TestInterleavedEMRunsMatchStandalone(t *testing.T) {
 func TestEMRunCoarseFallback(t *testing.T) {
 	dev := device.Serial()
 	eval, init := engineFixture(t, 6, 60, 711, dev)
-	mc := NewMultiChain(eval, dev, 2)
+	mc := coarseOnly{NewMultiChain(eval, dev, 2)}
 	cfg := EMConfig{InitialTheta: 1.0, Iterations: 2, Burnin: 20, Samples: 100, Seed: 712}
 
 	standalone, err := RunEM(mc, init, cfg, dev)

@@ -247,3 +247,71 @@ func TestCountNodes(t *testing.T) {
 		t.Errorf("CountNodes = %d, want 5", c)
 	}
 }
+
+// TestRoundTripZeroLengthBranches: zero-length branches must survive a
+// render/parse cycle with the length *present* (":0"), not dropped — the
+// checkpoint tree serialization distinguishes "no length" from "length
+// zero".
+func TestRoundTripZeroLengthBranches(t *testing.T) {
+	n := mustParse(t, "((a:0,b:0.5):0,c:0.5);")
+	out := n.String()
+	m := mustParse(t, out)
+	if !equalTrees(n, m) {
+		t.Fatalf("round trip changed tree: %q", out)
+	}
+	if !m.Children[0].Children[0].HasLength || m.Children[0].Children[0].Length != 0 {
+		t.Errorf("zero tip branch length not preserved in %q", out)
+	}
+	if !m.Children[0].HasLength || m.Children[0].Length != 0 {
+		t.Errorf("zero interior branch length not preserved in %q", out)
+	}
+}
+
+// TestRoundTripNonDefaultLabels: every name the quoting rules must
+// protect — spaces, parentheses, commas, colons, semicolons, embedded
+// quotes, brackets — plus hash-prefixed interior labels (the checkpoint
+// serialization labels interior nodes "#<index>") survive a round trip
+// bit-for-bit.
+func TestRoundTripNonDefaultLabels(t *testing.T) {
+	names := []string{
+		"plain", "with space", "pa(ren", "clo)se", "com,ma",
+		"co:lon", "semi;colon", "quo'te", "brack[et", "close]br",
+		"#17", "tab\tname",
+	}
+	for _, name := range names {
+		n := &Node{Children: []*Node{
+			{Name: name, Length: 0.25, HasLength: true},
+			{Name: "other", Length: 0.25, HasLength: true},
+		}}
+		m := mustParse(t, n.String())
+		if m.Children[0].Name != name {
+			t.Errorf("name %q round-tripped as %q (via %q)", name, m.Children[0].Name, n.String())
+		}
+	}
+	// Interior labels too: the checkpoint format depends on them.
+	in := "((a:1,b:1)#5:1,c:2)#6;"
+	m := mustParse(t, in)
+	if m.Name != "#6" || m.Children[0].Name != "#5" {
+		t.Fatalf("interior labels lost: %+v", m)
+	}
+	if out := m.String(); out != in {
+		t.Errorf("interior-labelled tree round trip: %q -> %q", in, out)
+	}
+}
+
+// TestRoundTripExactLengths: branch lengths are rendered with enough
+// digits that parsing them back yields the identical float64 — the
+// property that makes newick a faithful carrier for serialized trees.
+func TestRoundTripExactLengths(t *testing.T) {
+	lengths := []float64{1.0 / 3.0, 0.1, 5e-324, 1e300, 0.30000000000000004}
+	for _, l := range lengths {
+		n := &Node{Children: []*Node{
+			{Name: "a", Length: l, HasLength: true},
+			{Name: "b", Length: 1, HasLength: true},
+		}}
+		m := mustParse(t, n.String())
+		if got := m.Children[0].Length; got != l {
+			t.Errorf("length %v round-tripped as %v", l, got)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package rng
+
+import "fmt"
+
+// MTState is the complete exported state of one MT19937 generator: the
+// 624-word state vector plus the read index. It exists so a checkpointed
+// chain can resume drawing the identical random sequence — the same
+// reproducibility discipline the paper demands of its per-thread MTGP32
+// streams (§5.1.2), extended across process restarts.
+type MTState struct {
+	Vec   [mtN]uint32
+	Index int
+}
+
+// State exports the generator's full state. Restoring it with SetState
+// yields a generator whose future outputs are bit-identical to this one's.
+func (m *MT19937) State() MTState {
+	return MTState{Vec: m.state, Index: m.index}
+}
+
+// SetState overwrites the generator's state with a previously exported
+// snapshot. The index must lie in [0, 624] (624 means "regenerate before
+// the next output", the state a freshly seeded generator is in).
+func (m *MT19937) SetState(s MTState) error {
+	if s.Index < 0 || s.Index > mtN {
+		return fmt.Errorf("rng: MT19937 state index %d out of range [0, %d]", s.Index, mtN)
+	}
+	m.state = s.Vec
+	m.index = s.Index
+	return nil
+}
+
+// State exports the full state of every stream, in stream order.
+func (s *StreamSet) State() []MTState {
+	out := make([]MTState, len(s.streams))
+	for i, m := range s.streams {
+		out[i] = m.State()
+	}
+	return out
+}
+
+// SetState restores every stream from an exported snapshot. The snapshot
+// must have exactly one state per stream: a stream-count mismatch means
+// the run was reconfigured since the snapshot, which would silently
+// decouple threads from their sequences.
+func (s *StreamSet) SetState(states []MTState) error {
+	if len(states) != len(s.streams) {
+		return fmt.Errorf("rng: snapshot has %d streams, stream set has %d", len(states), len(s.streams))
+	}
+	for i := range states {
+		if err := s.streams[i].SetState(states[i]); err != nil {
+			return fmt.Errorf("rng: stream %d: %w", i, err)
+		}
+	}
+	return nil
+}

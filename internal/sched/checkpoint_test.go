@@ -1,0 +1,417 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mpcgs/internal/ckpt"
+	"mpcgs/internal/device"
+	"mpcgs/internal/phylip"
+)
+
+// ckptJobs builds one small job per sampler, the ensemble every
+// kill/resume test drives.
+func ckptJobs(t *testing.T) []Job {
+	t.Helper()
+	return []Job{
+		quickJob("gmh-job", testAlignment(t, 6, 60, 601), "gmh", 611),
+		quickJob("mh-job", testAlignment(t, 6, 60, 602), "mh", 612),
+		quickJob("heated-job", testAlignment(t, 6, 60, 603), "heated", 613),
+		quickJob("multichain-job", testAlignment(t, 6, 60, 604), "multichain", 614),
+	}
+}
+
+// runToCompletionWithResume drives a batch through as many
+// kill/checkpoint/resume cycles as it takes, cancelling each attempt
+// after delay, and returns the final results. Every attempt after the
+// first resumes from the checkpoint directory.
+func runToCompletionWithResume(t *testing.T, jobs []Job, dir string, delay time.Duration, quantum, every int) []Result {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		if attempt > 200 {
+			t.Fatal("batch did not complete within 200 kill/resume cycles")
+		}
+		opts := Options{
+			Drivers:    2,
+			Quantum:    quantum,
+			Checkpoint: CheckpointOptions{Dir: dir, Every: every},
+		}
+		if attempt > 0 {
+			resume, err := ckpt.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Resume = resume
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), delay)
+		pool := device.NewPool(2)
+		results, err := RunBatch(ctx, pool, jobs, opts)
+		cancel()
+		pool.Close()
+		if err == nil {
+			return results
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		// Progressively longer attempts so the loop terminates even on a
+		// very slow machine.
+		delay += delay / 2
+	}
+}
+
+// requireSameOutcome compares a kill/resume job against the
+// uninterrupted reference. A job that was mid-flight at the last kill
+// reruns to completion and carries its full trace — compared
+// bit-for-bit; a job that finished in an earlier attempt is restored
+// from the checkpoint without its sample set, so its θ trajectory is
+// compared instead (each history entry pins four floats per iteration).
+func requireSameOutcome(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if got.LastSet != nil {
+		requireIdentical(t, label, want, got)
+		return
+	}
+	if !got.Resumed {
+		t.Fatalf("%s: job has neither a trace nor a restored result", label)
+	}
+	if got.Err != nil {
+		t.Fatalf("%s: %v", label, got.Err)
+	}
+	if got.Theta != want.Theta {
+		t.Fatalf("%s: restored theta %v != %v", label, got.Theta, want.Theta)
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: history lengths %d vs %d", label, len(got.History), len(want.History))
+	}
+	for i := range got.History {
+		if got.History[i] != want.History[i] {
+			t.Fatalf("%s: EM iteration %d differs: %+v vs %+v", label, i, got.History[i], want.History[i])
+		}
+	}
+}
+
+// TestBatchKillResumeBitIdentical is the batch-level acceptance test: a
+// batch killed mid-flight at arbitrary points and resumed from its
+// checkpoint finishes with every job's trace bit-identical to the
+// uninterrupted batch, for all four samplers.
+func TestBatchKillResumeBitIdentical(t *testing.T) {
+	jobs := ckptJobs(t)
+
+	// Uninterrupted reference.
+	pool := device.NewPool(2)
+	want, err := RunBatch(context.Background(), pool, jobs, Options{Drivers: 2, Quantum: 7})
+	pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	got := runToCompletionWithResume(t, jobs, dir, 30*time.Millisecond, 7, 40)
+	for i := range want {
+		requireSameOutcome(t, jobs[i].Name, want[i], got[i])
+		if got[i].Steps != want[i].Steps {
+			t.Errorf("%s: cumulative steps %d != uninterrupted %d", jobs[i].Name, got[i].Steps, want[i].Steps)
+		}
+	}
+}
+
+// TestBatchResumeSkipsFinishedJobs: jobs recorded as done in the
+// checkpoint are not re-run — their result comes back immediately with
+// Resumed set — while unfinished jobs still run.
+func TestBatchResumeSkipsFinishedJobs(t *testing.T) {
+	quick := quickJob("quick", testAlignment(t, 5, 40, 621), "mh", 622)
+	slow := quickJob("slow", testAlignment(t, 6, 60, 623), "gmh", 624)
+	slow.Samples = 2000
+	jobs := []Job{quick, slow}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	// Run the batch to completion with checkpointing on.
+	pool := device.NewPool(2)
+	want, err := RunBatch(context.Background(), pool, jobs, Options{
+		Checkpoint: CheckpointOptions{Dir: dir, Every: 50},
+	})
+	pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume the finished batch: every job must come back from the file,
+	// with no sampling work done.
+	resume, err := ckpt.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool = device.NewPool(2)
+	got, err := RunBatch(context.Background(), pool, jobs, Options{Resume: resume})
+	pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Err != nil {
+			t.Fatalf("job %q: %v", r.Name, r.Err)
+		}
+		if !r.Resumed {
+			t.Errorf("job %q was re-run instead of restored", r.Name)
+		}
+		if r.Theta != want[i].Theta {
+			t.Errorf("job %q: restored theta %v != %v", r.Name, r.Theta, want[i].Theta)
+		}
+		if len(r.History) != len(want[i].History) {
+			t.Fatalf("job %q: restored history length %d != %d", r.Name, len(r.History), len(want[i].History))
+		}
+		for k := range r.History {
+			if r.History[k] != want[i].History[k] {
+				t.Errorf("job %q: restored history entry %d differs", r.Name, k)
+			}
+		}
+		if r.Busy != 0 {
+			t.Errorf("job %q: restored job reports %v busy time", r.Name, r.Busy)
+		}
+	}
+}
+
+// TestBatchResumeRejectsChangedSpec: a manifest edited since the snapshot
+// must not silently adopt the old chain state.
+func TestBatchResumeRejectsChangedSpec(t *testing.T) {
+	job := quickJob("drift", testAlignment(t, 6, 60, 631), "gmh", 632)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	pool := device.NewPool(2)
+	if _, err := RunBatch(context.Background(), pool, []Job{job}, Options{
+		Checkpoint: CheckpointOptions{Dir: dir},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	resume, err := ckpt.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := job
+	changed.Seed++
+	pool = device.NewPool(2)
+	defer pool.Close()
+	got, err := RunBatch(context.Background(), pool, []Job{changed}, Options{Resume: resume})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err == nil || !strings.Contains(got[0].Err.Error(), "fingerprint mismatch") {
+		t.Fatalf("changed spec not rejected: %v", got[0].Err)
+	}
+}
+
+// TestBatchResumeRestoresFailedJobs: a job that failed before the kill is
+// reported, not re-run.
+func TestBatchResumeRestoresFailedJobs(t *testing.T) {
+	bad := quickJob("pathological", testAlignment(t, 6, 60, 641), "mh", 642)
+	bad.InitialTheta = 1e-12 // infeasible resimulation regions: MH dies
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	pool := device.NewPool(2)
+	first, err := RunBatch(context.Background(), pool, []Job{bad}, Options{
+		Checkpoint: CheckpointOptions{Dir: dir},
+	})
+	pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].Err == nil {
+		t.Fatal("pathological job did not fail")
+	}
+	resume, err := ckpt.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool = device.NewPool(2)
+	defer pool.Close()
+	got, err := RunBatch(context.Background(), pool, []Job{bad}, Options{Resume: resume})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err == nil || !got[0].Resumed {
+		t.Fatalf("failed job not restored from checkpoint: %+v", got[0])
+	}
+	if !strings.Contains(got[0].Err.Error(), "failed before the resume") {
+		t.Errorf("restored failure not labelled as such: %v", got[0].Err)
+	}
+}
+
+// TestBatchCheckpointKillResumeStress hammers the snapshot path under
+// maximum contention — single-transition quanta, a snapshot after every
+// transition, repeated kills — to prove checkpoints only ever observe
+// step boundaries. Run with -race this doubles as the data-race proof:
+// snapshots are taken by the driver that owns the job while other drivers
+// are mid-quantum on theirs.
+func TestBatchCheckpointKillResumeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	jobs := []Job{
+		quickJob("s-gmh", testAlignment(t, 5, 40, 651), "gmh", 652),
+		quickJob("s-heated", testAlignment(t, 5, 40, 653), "heated", 654),
+		quickJob("s-mh", testAlignment(t, 5, 40, 655), "mh", 656),
+	}
+	for i := range jobs {
+		jobs[i].Burnin = 10
+		jobs[i].Samples = 120
+		jobs[i].EMIterations = 2
+	}
+	pool := device.NewPool(2)
+	want, err := RunBatch(context.Background(), pool, jobs, Options{Drivers: 3, Quantum: 1})
+	pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	got := runToCompletionWithResume(t, jobs, dir, 20*time.Millisecond, 1, 1)
+	for i := range want {
+		requireSameOutcome(t, jobs[i].Name, want[i], got[i])
+	}
+}
+
+// TestLoadManifestRejectsDuplicatesAndBadCounts covers the admission
+// bugfix: specs that used to slip through and fail (or silently default)
+// mid-run now die at load time with a clear error.
+func TestLoadManifestRejectsDuplicatesAndBadCounts(t *testing.T) {
+	dir := t.TempDir()
+	aln := testAlignment(t, 5, 40, 661)
+	f, err := os.Create(filepath.Join(dir, "pop.phy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phylip.Write(f, aln); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cases := map[string]struct {
+		manifest string
+		wantErr  string
+	}{
+		"duplicate names": {
+			`{"jobs": [
+				{"name": "same", "phylip": "pop.phy", "theta": 1},
+				{"name": "same", "phylip": "pop.phy", "theta": 1}
+			]}`,
+			"share the name",
+		},
+		"duplicate derived names": {
+			`{"jobs": [
+				{"phylip": "pop.phy", "theta": 1},
+				{"phylip": "pop.phy", "theta": 1}
+			]}`,
+			"share the name",
+		},
+		"zero chains": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "chains": 0}]}`,
+			"chain count 0",
+		},
+		"negative chains": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "chains": -2}]}`,
+			"chain count -2",
+		},
+		"zero proposals": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "proposals": 0}]}`,
+			"proposal count 0",
+		},
+		"negative burnin": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "burnin": -5}]}`,
+			"burn-in -5",
+		},
+		"negative samples": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "samples": -5}]}`,
+			"sample count -5",
+		},
+		"negative theta": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": -1}]}`,
+			"must not be negative",
+		},
+		"negative em iterations": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "em_iterations": -1}]}`,
+			"EM iteration count -1",
+		},
+	}
+	for name, tc := range cases {
+		path := filepath.Join(dir, "m.json")
+		if err := os.WriteFile(path, []byte(tc.manifest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadManifest(path)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint moves with anything that
+// changes a job's trajectory, and holds still otherwise.
+func TestFingerprintSensitivity(t *testing.T) {
+	aln := testAlignment(t, 5, 40, 671)
+	base := quickJob("fp", aln, "gmh", 672).withDefaults(0, 4)
+	if Fingerprint(base) != Fingerprint(base) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	mutations := map[string]func(*Job){
+		"seed":      func(j *Job) { j.Seed++ },
+		"sampler":   func(j *Job) { j.Sampler = "mh" },
+		"theta":     func(j *Job) { j.InitialTheta *= 2 },
+		"burnin":    func(j *Job) { j.Burnin++ },
+		"samples":   func(j *Job) { j.Samples++ },
+		"proposals": func(j *Job) { j.Proposals++ },
+		"chains":    func(j *Job) { j.Chains++ },
+		"data":      func(j *Job) { j.Alignment = testAlignment(t, 5, 40, 673) },
+	}
+	for name, mutate := range mutations {
+		j := base
+		mutate(&j)
+		if Fingerprint(j) == Fingerprint(base) {
+			t.Errorf("fingerprint ignores %s", name)
+		}
+	}
+}
+
+// TestCheckpointFileHasVersionAndAllJobs: a checkpoint written by a
+// completed run records every job as done, and resuming with a mangled
+// version is refused upstream by ckpt.Load.
+func TestCheckpointFileHasVersionAndAllJobs(t *testing.T) {
+	jobs := []Job{
+		quickJob("v1", testAlignment(t, 5, 40, 681), "mh", 682),
+		quickJob("v2", testAlignment(t, 5, 40, 683), "mh", 684),
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	pool := device.NewPool(2)
+	defer pool.Close()
+	if _, err := RunBatch(context.Background(), pool, jobs, Options{
+		Checkpoint: CheckpointOptions{Dir: dir},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ckpt.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != ckpt.FormatVersion {
+		t.Errorf("version %d, want %d", b.Version, ckpt.FormatVersion)
+	}
+	if len(b.Jobs) != 2 {
+		t.Fatalf("checkpoint has %d jobs, want 2", len(b.Jobs))
+	}
+	for _, j := range b.Jobs {
+		if j.Status != ckpt.StatusDone {
+			t.Errorf("job %q status %q, want done", j.Name, j.Status)
+		}
+		if j.Fingerprint == "" {
+			t.Errorf("job %q has no fingerprint", j.Name)
+		}
+	}
+}

@@ -22,8 +22,8 @@ import (
 //	}
 //
 // Relative phylip paths resolve against the manifest's own directory.
-// Job fields left at their zero value inherit first from defaults, then
-// from the standalone-run defaults (sampler gmh, model f81, burnin 1000,
+// Job fields left out inherit first from defaults, then from the
+// standalone-run defaults (sampler gmh, model f81, burnin 1000,
 // samples 10000, 10 EM iterations, seed 1).
 type Manifest struct {
 	Defaults ManifestJob   `json:"defaults"`
@@ -31,15 +31,18 @@ type Manifest struct {
 }
 
 // ManifestJob is one manifest entry. Phylip is required on jobs (it is
-// meaningless in defaults); everything else is optional.
+// meaningless in defaults); everything else is optional. Proposals and
+// Chains are pointers so an explicit zero — a spec that can never run —
+// is distinguishable from an omitted field and rejected at load time
+// instead of surfacing as a confusing mid-run default.
 type ManifestJob struct {
 	Name         string  `json:"name"`
 	Phylip       string  `json:"phylip"`
 	Theta        float64 `json:"theta"`
 	Sampler      string  `json:"sampler"`
 	Model        string  `json:"model"`
-	Proposals    int     `json:"proposals"`
-	Chains       int     `json:"chains"`
+	Proposals    *int    `json:"proposals,omitempty"`
+	Chains       *int    `json:"chains,omitempty"`
 	Burnin       int     `json:"burnin"`
 	Samples      int     `json:"samples"`
 	EMIterations int     `json:"em_iterations"`
@@ -57,10 +60,10 @@ func (m ManifestJob) merged(d ManifestJob) ManifestJob {
 	if m.Model == "" {
 		m.Model = d.Model
 	}
-	if m.Proposals == 0 {
+	if m.Proposals == nil {
 		m.Proposals = d.Proposals
 	}
-	if m.Chains == 0 {
+	if m.Chains == nil {
 		m.Chains = d.Chains
 	}
 	if m.Burnin == 0 {
@@ -76,6 +79,31 @@ func (m ManifestJob) merged(d ManifestJob) ManifestJob {
 		m.Seed = d.Seed
 	}
 	return m
+}
+
+// validate rejects spec values that could only fail later, mid-run, with
+// a less useful error: checkpoint resume additionally keys job state by
+// name, so name collisions must die here too.
+func (m ManifestJob) validate() error {
+	if m.Theta < 0 {
+		return fmt.Errorf("theta %v must not be negative", m.Theta)
+	}
+	if m.Proposals != nil && *m.Proposals <= 0 {
+		return fmt.Errorf("proposal count %d must be positive (omit the field for the pool default)", *m.Proposals)
+	}
+	if m.Chains != nil && *m.Chains <= 0 {
+		return fmt.Errorf("chain count %d must be positive (omit the field for the pool default)", *m.Chains)
+	}
+	if m.Burnin < 0 {
+		return fmt.Errorf("burn-in %d must not be negative", m.Burnin)
+	}
+	if m.Samples < 0 {
+		return fmt.Errorf("sample count %d must not be negative", m.Samples)
+	}
+	if m.EMIterations < 0 {
+		return fmt.Errorf("EM iteration count %d must not be negative", m.EMIterations)
+	}
+	return nil
 }
 
 // LoadManifest parses a batch manifest and loads every job's alignment.
@@ -95,10 +123,14 @@ func LoadManifest(path string) ([]Job, error) {
 	}
 	base := filepath.Dir(path)
 	jobs := make([]Job, 0, len(m.Jobs))
+	seen := make(map[string]int, len(m.Jobs))
 	for i, entry := range m.Jobs {
 		entry = entry.merged(m.Defaults)
 		if entry.Phylip == "" {
 			return nil, fmt.Errorf("%s: job %d (%q) has no phylip file", path, i, entry.Name)
+		}
+		if err := entry.validate(); err != nil {
+			return nil, fmt.Errorf("%s: job %d (%q): %w", path, i, entry.Name, err)
 		}
 		seqPath := entry.Phylip
 		if !filepath.IsAbs(seqPath) {
@@ -112,19 +144,29 @@ func LoadManifest(path string) ([]Job, error) {
 		if name == "" {
 			name = strings.TrimSuffix(filepath.Base(entry.Phylip), filepath.Ext(entry.Phylip))
 		}
-		jobs = append(jobs, Job{
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("%s: jobs %d and %d share the name %q; job names must be unique (they key results and checkpoint state)",
+				path, prev, i, name)
+		}
+		seen[name] = i
+		job := Job{
 			Name:         name,
 			Alignment:    aln,
 			InitialTheta: entry.Theta,
 			Sampler:      entry.Sampler,
 			Model:        entry.Model,
-			Proposals:    entry.Proposals,
-			Chains:       entry.Chains,
 			Burnin:       entry.Burnin,
 			Samples:      entry.Samples,
 			EMIterations: entry.EMIterations,
 			Seed:         entry.Seed,
-		})
+		}
+		if entry.Proposals != nil {
+			job.Proposals = *entry.Proposals
+		}
+		if entry.Chains != nil {
+			job.Chains = *entry.Chains
+		}
+		jobs = append(jobs, job)
 	}
 	return jobs, nil
 }

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"mpcgs/internal/ckpt"
 	"mpcgs/internal/core"
 	"mpcgs/internal/device"
 	"mpcgs/internal/felsen"
@@ -118,14 +119,19 @@ type Result struct {
 	// History records the job's EM trajectory.
 	History []core.EMIteration
 	// LastSet is the sample set of the final EM iteration (the posterior
-	// trace the equivalence tests compare).
+	// trace the equivalence tests compare). It is nil for jobs restored
+	// from a checkpoint without being re-run.
 	LastSet *core.SampleSet
-	// Steps counts the sampler transitions the scheduler drove.
+	// Steps counts the sampler transitions the scheduler drove (including
+	// transitions driven before a resume).
 	Steps int
 	// Busy is the cumulative time drivers spent stepping this job (its
 	// share of the process, not wall-clock makespan: quanta of different
 	// jobs overlap).
 	Busy time.Duration
+	// Resumed marks a job whose outcome was restored from a checkpoint
+	// instead of being computed in this batch.
+	Resumed bool
 	// Err is the job's failure, if any: an invalid spec, a sampling
 	// error, or the batch-level cancellation that interrupted it.
 	Err error
@@ -142,22 +148,42 @@ type Options struct {
 	// job before requeuing it (fair time-slicing granularity).
 	// Non-positive selects 64.
 	Quantum int
+	// Checkpoint enables periodic and on-cancellation checkpointing of
+	// the whole batch.
+	Checkpoint CheckpointOptions
+	// Resume is a previously saved checkpoint to restart from: finished
+	// and failed jobs are skipped (their recorded outcome is returned),
+	// paused jobs restore their chain state and continue, and jobs whose
+	// fingerprint no longer matches their checkpoint entry are rejected.
+	Resume *ckpt.Batch
 }
 
 // runner is one admitted job being driven through its EMRun.
 type runner struct {
-	index int
-	name  string
-	em    *core.EMRun
-	steps int
-	busy  time.Duration
+	index     int
+	name      string
+	em        *core.EMRun
+	steps     int
+	sinceSnap int
+	busy      time.Duration
 }
 
 // RunBatch drives every job to completion over the shared pool and
 // returns one Result per job, in job order. Per-job failures are
 // recorded in the results; RunBatch itself returns an error only for
 // batch-level failures: a cancelled context (jobs not yet finished
-// record ctx's error too) or a closed pool.
+// record ctx's error too), a closed pool, or a checkpoint directory that
+// cannot be written.
+//
+// With Options.Checkpoint set, the batch's state is persisted into the
+// checkpoint directory: every job's snapshot is refreshed each
+// CheckpointOptions.Every transitions, finished jobs record their result,
+// and a batch-level stop (cancellation) snapshots every still-running job
+// before RunBatch returns — always at step boundaries, because snapshots
+// are taken only by the driver that owns the job, between its steps. With
+// Options.Resume set, jobs recorded as finished or failed are skipped and
+// paused jobs continue from their snapshot, bit-identical to never having
+// stopped.
 func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) ([]Result, error) {
 	if pool == nil {
 		pool = device.NewPool(0)
@@ -181,15 +207,50 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 	if drivers > len(jobs) {
 		drivers = len(jobs)
 	}
+	cw := newCkptWriter(opts.Checkpoint, len(jobs))
+	snapEvery := opts.Checkpoint.every()
+	resume := resumeIndex(opts.Resume)
 
 	// Admission: build each job's evaluator and step-driven estimation on
 	// its own tenant view of the pool. Invalid jobs fail here, in their
-	// own Result, without holding the batch back.
+	// own Result, without holding the batch back. With a resume
+	// checkpoint, finished and failed jobs short-circuit to their recorded
+	// outcome and paused jobs restore their chain state.
 	ready := make(chan *runner, len(jobs))
 	live := 0
 	for i, job := range jobs {
 		job = job.withDefaults(i, pool.Workers())
 		results[i].Name = job.Name
+		// Hashing every alignment is only worth it when the fingerprint
+		// is going somewhere: a checkpoint entry or a resume comparison.
+		fp := ""
+		if cw != nil || resume != nil {
+			fp = Fingerprint(job)
+		}
+		cw.initJob(i, job.Name, fp)
+		entry, resuming := resume[job.Name]
+		if resuming {
+			if entry.Fingerprint != fp {
+				cw.keep(i, entry)
+				results[i].Err = fmt.Errorf("sched: job %q: checkpoint fingerprint mismatch: the job spec or its data changed since the snapshot (note that proposal/chain counts default to the pool's worker count); rerun without -resume or restore the original manifest", job.Name)
+				continue
+			}
+			switch entry.Status {
+			case ckpt.StatusDone:
+				cw.keep(i, entry)
+				if err := restoreDone(entry, &results[i]); err != nil {
+					results[i].Err = fmt.Errorf("sched: job %q: %w", job.Name, err)
+				}
+				continue
+			case ckpt.StatusFailed:
+				cw.keep(i, entry)
+				results[i].Resumed = true
+				results[i].Steps = entry.Steps
+				results[i].Err = fmt.Errorf("sched: job %q failed before the resume: %s", job.Name, entry.Error)
+				continue
+			}
+			cw.keep(i, entry)
+		}
 		dev, err := pool.Tenant(job.Name)
 		if err != nil {
 			results[i].Err = err
@@ -198,13 +259,27 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 		em, err := startJob(job, dev)
 		if err != nil {
 			results[i].Err = fmt.Errorf("sched: job %q: %w", job.Name, err)
+			cw.setFailed(i, results[i].Err, 0)
 			continue
 		}
-		ready <- &runner{index: i, name: job.Name, em: em}
+		r := &runner{index: i, name: job.Name, em: em}
+		if resuming {
+			snap, err := ckpt.DecodeEM(entry.EM)
+			if err == nil {
+				err = em.Restore(snap)
+			}
+			if err != nil {
+				results[i].Err = fmt.Errorf("sched: job %q: restoring checkpoint: %w", job.Name, err)
+				continue
+			}
+			r.steps = entry.Steps
+		}
+		ready <- r
 		live++
 	}
+	cw.flush()
 	if live == 0 {
-		return results, nil
+		return results, firstError(batchErr(ctx, pool), cw.err())
 	}
 
 	// Drivers pop a job, step it for one quantum, requeue it; the last
@@ -233,6 +308,21 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 		}
 	}
 
+	// snapshot persists a still-running job's state; the calling driver
+	// owns the runner, so the EMRun is quiescent at a step boundary.
+	snapshot := func(r *runner) {
+		if cw == nil {
+			return
+		}
+		snap, err := r.em.Snapshot()
+		if err != nil {
+			return
+		}
+		cw.setPaused(r.index, ckpt.EncodeEM(snap), r.steps)
+		cw.flush()
+		r.sinceSnap = 0
+	}
+
 	var wg sync.WaitGroup
 	for d := 0; d < drivers; d++ {
 		wg.Add(1)
@@ -240,6 +330,9 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 			defer wg.Done()
 			for r := range ready {
 				if err := batchErr(ctx, pool); err != nil {
+					// On-cancel checkpoint: park the job's state so a
+					// resume continues it instead of restarting it.
+					snapshot(r)
 					finish(r, fmt.Errorf("sched: job %q interrupted: %w", r.name, err))
 					continue
 				}
@@ -250,21 +343,43 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 						break
 					}
 					r.steps++
+					r.sinceSnap++
 				}
 				r.busy += time.Since(start)
 				switch {
 				case stepErr != nil:
 					finish(r, stepErr)
+					if cw != nil {
+						cw.setFailed(r.index, stepErr, r.steps)
+						cw.flush()
+					}
 				case r.em.Done():
 					finish(r, nil)
+					if cw != nil {
+						cw.setDone(r.index, &results[r.index])
+						cw.flush()
+					}
 				default:
+					if cw != nil && r.sinceSnap >= snapEvery {
+						snapshot(r)
+					}
 					ready <- r
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return results, batchErr(ctx, pool)
+	return results, firstError(batchErr(ctx, pool), cw.err())
+}
+
+// firstError returns the first non-nil error.
+func firstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunStandalone estimates one job alone in the one-pool-per-run model:

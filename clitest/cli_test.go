@@ -10,6 +10,13 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mpcgs/internal/ckpt"
+	"mpcgs/internal/core"
+	"mpcgs/internal/device"
+	"mpcgs/internal/felsen"
+	"mpcgs/internal/seqgen"
+	"mpcgs/internal/subst"
 )
 
 var binDir string
@@ -403,6 +410,120 @@ func TestMpcgsBatchResumeSkipsFinished(t *testing.T) {
 	want, got := jobTheta(first), jobTheta(second)
 	if want == "" || got != want {
 		t.Fatalf("restored theta %q != original %q", got, want)
+	}
+}
+
+// TestMpcgsHeatedSwapReport: a heated run prints the per-pair swap-rate
+// ladder report, and -adapt-ladder labels it as adapted.
+func TestMpcgsHeatedSwapReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	trees := run(t, "mssim", "", "-seed", "51", "6", "1")
+	phy := run(t, "seqgen", trees, "-l", "80", "-seed", "52")
+	path := filepath.Join(t.TempDir(), "data.phy")
+	if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-sampler", "heated", "-chains", "3", "-workers", "2",
+		"-burnin", "60", "-samples", "300", "-em-iterations", "1", "-seed", "53"}
+	out := run(t, "mpcgs", "", append(args, path, "1.0")...)
+	if !strings.Contains(out, "ladder (geometric, 3 rungs)") || !strings.Contains(out, "pair 0-1") {
+		t.Fatalf("heated run printed no swap report:\n%s", out)
+	}
+	out = run(t, "mpcgs", "", append(append([]string{"-adapt-ladder", "-swap-window", "8"}, args...), path, "1.0")...)
+	if !strings.Contains(out, "ladder (adapted, ") || !strings.Contains(out, "updates, 3 rungs)") ||
+		!strings.Contains(out, "pair 1-2") {
+		t.Fatalf("adaptive heated run printed no adapted swap report:\n%s", out)
+	}
+	// Tempering flags on a non-heated sampler die with a clear error
+	// instead of being silently dropped.
+	bad := runExpectError(t, "mpcgs", "-sampler", "gmh", "-adapt-ladder", path, "1.0")
+	if !strings.Contains(bad, "only meaningful with -sampler heated") {
+		t.Fatalf("gmh -adapt-ladder error unclear:\n%s", bad)
+	}
+	// Nonsense tempering flags die with a clear error.
+	bad = runExpectError(t, "mpcgs", append([]string{"-sampler", "heated", "-max-temp", "0.5"}, path, "1.0")...)
+	if !strings.Contains(bad, "MaxTemp") {
+		t.Fatalf("bad -max-temp error unclear:\n%s", bad)
+	}
+}
+
+// TestMpcgsInspect: -inspect prints per-job status from a checkpoint
+// directory without resuming — finished jobs with their estimates, and a
+// paused adaptive heated job with its temperature ladder. The paused
+// entry is constructed from a real engine snapshot so the test is
+// deterministic (no SIGINT races).
+func TestMpcgsInspect(t *testing.T) {
+	dir := t.TempDir()
+
+	// A real mid-flight adaptive heated snapshot for the paused job.
+	dev := device.Serial()
+	aln, _, err := seqgen.SimulateData(6, 60, 1.0, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := felsen.New(model, aln, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := core.InitialTree(aln, 1.0, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := core.NewHeated(eval, dev, 3)
+	h.Adapt = true
+	h.MaxTemp = 16
+	h.SwapWindow = 8
+	em, err := core.StartEM(h, init, core.EMConfig{
+		InitialTheta: 1.0, Iterations: 2, Burnin: 40, Samples: 120, Seed: 57,
+	}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 75; i++ {
+		if err := em.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := em.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &ckpt.Batch{Jobs: []ckpt.BatchJob{
+		{Name: "finished", Fingerprint: "fp1", Status: ckpt.StatusDone, Steps: 320,
+			Theta: "0x1.8p+00"},
+		{Name: "broken", Fingerprint: "fp2", Status: ckpt.StatusFailed, Error: "pathological theta"},
+		{Name: "midflight", Fingerprint: "fp3", Status: ckpt.StatusPaused, Steps: 75,
+			EM: ckpt.EncodeEM(snap)},
+	}}
+	if err := ckpt.Save(dir, batch); err != nil {
+		t.Fatal(err)
+	}
+
+	out := run(t, "mpcgs", "", "-inspect", dir)
+	for _, want := range []string{
+		"format v2, 3 jobs",
+		"finished", "done", "theta = 1.5",
+		"broken", "failed", "pathological theta",
+		"midflight", "paused", "sampler heated at transition 75",
+		"ladder (adaptive, window 8",
+		"pair 0-1", "pair 1-2", "swap rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-inspect output missing %q:\n%s", want, out)
+		}
+	}
+	// Inspect is read-only and refuses positional arguments.
+	if out := runExpectError(t, "mpcgs", "-inspect", dir, "extra.phy", "1.0"); !strings.Contains(out, "usage") {
+		t.Fatalf("inspect with positional args: %s", out)
+	}
+	if out := runExpectError(t, "mpcgs", "-inspect", filepath.Join(dir, "absent")); out == "" {
+		t.Fatal("inspect of a missing directory succeeded")
 	}
 }
 

@@ -32,12 +32,27 @@
 // their snapshot with traces bit-identical to a run that was never
 // stopped. Resuming implies continued checkpointing into the same
 // directory.
+//
+//	mpcgs -inspect ckpt/
+//
+// prints every job's status from a checkpoint directory — progress,
+// estimates, and the temperature ladder of paused heated runs — without
+// resuming anything.
+//
+// The heated (MC³) sampler's ladder is tuned with -chains, -max-temp,
+// -swap-every and, for hard posteriors, -adapt-ladder: during burn-in
+// the ladder's interior temperatures are retuned toward uniform
+// per-adjacent-pair swap acceptance (tracked over -swap-window
+// attempts), then frozen so the recorded draws target fixed
+// distributions. A per-pair swap-rate report is printed after heated
+// runs.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,29 +70,66 @@ import (
 
 func main() {
 	var (
-		sampler   = flag.String("sampler", "gmh", "sampling algorithm: gmh, mh, multichain, or heated")
-		model     = flag.String("model", "f81", "likelihood model: f81, jc69, or f84")
-		workers   = flag.Int("workers", 0, "device parallelism (0 = all cores)")
-		proposals = flag.Int("proposals", 0, "GMH proposal-set size N (0 = workers)")
-		burnin    = flag.Int("burnin", 1000, "burn-in draws per EM iteration")
-		samples   = flag.Int("samples", 10000, "recorded draws per EM iteration")
-		emIters   = flag.Int("em-iterations", 10, "maximum EM iterations")
-		seed      = flag.Uint64("seed", 1, "PRNG seed")
-		curve     = flag.Bool("curve", false, "print the relative log-likelihood curve")
-		growth    = flag.Bool("growth", false, "also estimate an exponential growth rate g")
-		bayesian  = flag.Bool("bayesian", false, "sample the posterior of theta instead of maximizing (LAMARC 2.0's Bayesian mode)")
-		batch     = flag.String("batch", "", "run a batch manifest of estimation jobs over one shared device pool instead of a single estimation")
-		ckptDir   = flag.String("checkpoint", "", "write periodic checkpoints into this directory (restart with -resume)")
-		ckptEvery = flag.Int("checkpoint-every", 1000, "sampler transitions between checkpoint snapshots per job")
-		resumeDir = flag.String("resume", "", "resume from the checkpoint in this directory (implies -checkpoint into it)")
-		quiet     = flag.Bool("q", false, "print only the final estimate")
+		sampler    = flag.String("sampler", "gmh", "sampling algorithm: gmh, mh, multichain, or heated")
+		model      = flag.String("model", "f81", "likelihood model: f81, jc69, or f84")
+		workers    = flag.Int("workers", 0, "device parallelism (0 = all cores)")
+		proposals  = flag.Int("proposals", 0, "GMH proposal-set size N (0 = workers)")
+		chains     = flag.Int("chains", 0, "heated/multichain chain count (0 = workers)")
+		maxTemp    = flag.Float64("max-temp", 0, "heated ladder's hottest temperature, at least 1 (0 = 8)")
+		swapEvery  = flag.Int("swap-every", 0, "within-chain steps between heated swap attempts (0 = 1)")
+		adapt      = flag.Bool("adapt-ladder", false, "adapt the heated temperature ladder toward uniform per-pair swap rates during burn-in, then freeze it")
+		swapWindow = flag.Int("swap-window", 0, "sliding-window size for per-pair swap-rate tracking (0 = 64)")
+		burnin     = flag.Int("burnin", 1000, "burn-in draws per EM iteration")
+		samples    = flag.Int("samples", 10000, "recorded draws per EM iteration")
+		emIters    = flag.Int("em-iterations", 10, "maximum EM iterations")
+		seed       = flag.Uint64("seed", 1, "PRNG seed")
+		curve      = flag.Bool("curve", false, "print the relative log-likelihood curve")
+		growth     = flag.Bool("growth", false, "also estimate an exponential growth rate g")
+		bayesian   = flag.Bool("bayesian", false, "sample the posterior of theta instead of maximizing (LAMARC 2.0's Bayesian mode)")
+		batch      = flag.String("batch", "", "run a batch manifest of estimation jobs over one shared device pool instead of a single estimation")
+		ckptDir    = flag.String("checkpoint", "", "write periodic checkpoints into this directory (restart with -resume)")
+		ckptEvery  = flag.Int("checkpoint-every", 1000, "sampler transitions between checkpoint snapshots per job")
+		resumeDir  = flag.String("resume", "", "resume from the checkpoint in this directory (implies -checkpoint into it)")
+		inspectDir = flag.String("inspect", "", "print per-job status from the checkpoint in this directory and exit (no resume)")
+		quiet      = flag.Bool("q", false, "print only the final estimate")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mpcgs [flags] <seqdata.phy> <initial-theta>\n")
-		fmt.Fprintf(os.Stderr, "       mpcgs [flags] -batch <manifest.json>\n\n")
+		fmt.Fprintf(os.Stderr, "       mpcgs [flags] -batch <manifest.json>\n")
+		fmt.Fprintf(os.Stderr, "       mpcgs -inspect <checkpoint-dir>\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	// The tempering flags only mean something on the heated sampler (and
+	// batch manifests carry their own per-job knobs): a flag that would
+	// be silently dropped is a spec bug, the same rule the manifest
+	// loader enforces.
+	if *maxTemp != 0 || *swapEvery != 0 || *adapt || *swapWindow != 0 {
+		if *batch != "" {
+			fatalf("-max-temp/-swap-every/-adapt-ladder/-swap-window do not apply to -batch; set max_temp/swap_every/adapt_ladder/swap_window per job in the manifest")
+		}
+		if *sampler != "heated" {
+			fatalf("-max-temp/-swap-every/-adapt-ladder/-swap-window are only meaningful with -sampler heated (got %q)", *sampler)
+		}
+	}
+	if *chains != 0 {
+		if *batch != "" {
+			fatalf("-chains does not apply to -batch; set chains per job in the manifest")
+		}
+		if *sampler != "heated" && *sampler != "multichain" {
+			fatalf("-chains is only meaningful with -sampler heated or multichain (got %q)", *sampler)
+		}
+	}
+	if *inspectDir != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := inspect(os.Stdout, *inspectDir); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	// Resuming continues checkpointing into the same directory, so a
 	// second interruption is just another resume.
 	if *resumeDir != "" && *ckptDir == "" {
@@ -114,6 +166,11 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		job.Chains = *chains
+		job.MaxTemp = *maxTemp
+		job.SwapEvery = *swapEvery
+		job.AdaptLadder = *adapt
+		job.SwapWindow = *swapWindow
 		if !*quiet {
 			fmt.Printf("mpcgs: %d sequences x %d bp, sampler=%s model=%s (checkpointing to %s)\n",
 				job.Alignment.NSeq(), job.Alignment.SeqLen(), *sampler, *model, *ckptDir)
@@ -153,6 +210,11 @@ func main() {
 		Model:          mpcgs.ModelKind(*model),
 		Workers:        *workers,
 		Proposals:      *proposals,
+		Chains:         *chains,
+		MaxTemp:        *maxTemp,
+		SwapEvery:      *swapEvery,
+		AdaptLadder:    *adapt,
+		SwapWindow:     *swapWindow,
 		Burnin:         *burnin,
 		Samples:        *samples,
 		EMIterations:   *emIters,
@@ -170,6 +232,10 @@ func main() {
 		d := res.Diagnostics
 		fmt.Printf("  diagnostics: ESS %.0f, Geweke z %.2f, suggested burn-in %d (sufficient: %v)\n",
 			d.ESS, d.GewekeZ, d.SuggestedBurnin, d.BurninSufficient)
+		if res.SwapReport != nil {
+			s := res.SwapReport
+			printSwapReport(s.Betas, s.Attempts, s.Accepts, s.Adapted, s.Adaptations)
+		}
 	}
 	fmt.Printf("theta = %.6g\n", res.Theta)
 	if res.Growth != nil {
@@ -271,6 +337,10 @@ func runBatch(jobs []sched.Job, workers int, ckptDir string, ckptEvery int, resu
 				fmt.Printf("  diagnostics: ESS %.0f, Geweke z %.2f, suggested burn-in %d (sufficient: %v)\n",
 					d.ESS, d.GewekeZ, d.SuggestedBurnin, d.BurninSufficient)
 			}
+			if !quiet && r.LastRun != nil && len(r.LastRun.PairSwapAttempts) > 0 {
+				printSwapReport(r.LastRun.Betas, r.LastRun.EstPairSwapAttempts, r.LastRun.EstPairSwaps,
+					r.LastRun.LadderAdapted, r.LastRun.LadderAdaptations)
+			}
 			fmt.Printf("theta = %.6g\n", r.Theta)
 			continue
 		}
@@ -288,6 +358,118 @@ func runBatch(jobs []sched.Job, workers int, ckptDir string, ckptEvery int, resu
 	if err != nil || failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// printSwapReport renders the heated sampler's per-pair swap-rate
+// profile: one line per adjacent rung pair with its temperatures and the
+// fraction of proposed exchanges that were accepted. Uniform rates mean
+// the ladder's rungs are pulling their weight; a near-zero pair marks a
+// temperature gap states cannot cross.
+func printSwapReport(betas []float64, attempts, accepts []int64, adapted bool, adaptations int64) {
+	kind := "geometric"
+	if adapted {
+		kind = fmt.Sprintf("adapted, %d updates", adaptations)
+	}
+	fmt.Printf("  ladder (%s, %d rungs): estimation-phase per-pair swap acceptance\n", kind, len(betas))
+	rates := core.PairRates(accepts, attempts)
+	for i := range attempts {
+		fmt.Printf("    pair %d-%d: T %-8.4g <-> %-8.4g rate %.3f (%d/%d)\n",
+			i, i+1, 1/betas[i], 1/betas[i+1], rates[i], accepts[i], attempts[i])
+	}
+	if adapted && adaptations == 0 {
+		switch {
+		case len(betas) < 3:
+			fmt.Printf("    note: -adapt-ladder had nothing to do — a %d-rung ladder has no interior\n", len(betas))
+			fmt.Printf("    temperature to move (both endpoints are pinned); use at least 3 chains\n")
+		case betas[len(betas)-1] == 1:
+			fmt.Printf("    note: -adapt-ladder had nothing to do — a flat ladder (-max-temp 1) has no\n")
+			fmt.Printf("    temperature span to redistribute\n")
+		default:
+			fmt.Printf("    note: adaptation never engaged — the burn-in ended before every pair's\n")
+			fmt.Printf("    swap window filled once; lengthen -burnin or shrink -swap-window\n")
+		}
+	}
+}
+
+// inspect prints every job's status from a checkpoint directory without
+// resuming anything: name, state, progress, the estimate for finished
+// jobs, and — for paused heated runs that carry one — the temperature
+// ladder with its per-pair swap rates.
+func inspect(w io.Writer, dir string) error {
+	b, err := ckpt.Load(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "checkpoint %s (format v%d, %d jobs)\n", ckpt.Path(dir), b.Version, len(b.Jobs))
+	for _, j := range b.Jobs {
+		switch j.Status {
+		case ckpt.StatusDone:
+			theta := hexOrRaw(j.Theta)
+			fmt.Fprintf(w, "job %-16s done    theta = %-10s (%d EM iterations, %d steps)\n",
+				j.Name, theta, len(j.History), j.Steps)
+		case ckpt.StatusFailed:
+			fmt.Fprintf(w, "job %-16s failed  %s\n", j.Name, j.Error)
+		case ckpt.StatusPaused:
+			if j.EM == nil {
+				fmt.Fprintf(w, "job %-16s paused  (no EM state)\n", j.Name)
+				continue
+			}
+			fmt.Fprintf(w, "job %-16s paused  EM iteration %d, driving theta = %s, %d steps, %d EM rounds done\n",
+				j.Name, j.EM.It+1, hexOrRaw(j.EM.Theta), j.Steps, len(j.EM.History))
+			if a := j.EM.Active; a != nil {
+				trace := 0
+				if a.Trace != nil {
+					trace = a.Trace.N
+				}
+				fmt.Fprintf(w, "  mid-pass: sampler %s at transition %d, %d draws recorded\n",
+					a.Sampler, a.Step, trace)
+				if a.Ladder != nil {
+					inspectLadder(w, a.Ladder)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// inspectLadder renders a checkpointed temperature ladder: the schedule
+// (adapted or geometric) and the per-pair swap rates it has seen.
+func inspectLadder(w io.Writer, l *ckpt.Ladder) {
+	kind := "geometric"
+	if l.Adapt {
+		kind = fmt.Sprintf("adaptive, window %d, %d updates", l.Window, l.Adapts)
+	}
+	fmt.Fprintf(w, "  ladder (%s): ", kind)
+	for i, b := range l.Betas {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		if f, err := strconv.ParseFloat(b, 64); err == nil {
+			fmt.Fprintf(w, "T%d=%.4g", i, 1/f)
+		} else {
+			fmt.Fprintf(w, "T%d=%s", i, b)
+		}
+	}
+	fmt.Fprintln(w)
+	rates := core.PairRates(l.Accepts, l.Attempts)
+	for i := range l.Attempts {
+		// The file is untrusted input: a truncated accepts array reads
+		// as zero rather than crashing the inspector.
+		var acc int64
+		if i < len(l.Accepts) {
+			acc = l.Accepts[i]
+		}
+		fmt.Fprintf(w, "    pair %d-%d: swap rate %.3f (%d/%d)\n", i, i+1, rates[i], acc, l.Attempts[i])
+	}
+}
+
+// hexOrRaw renders a checkpoint hex-float field human-readably, falling
+// back to the raw string if it does not parse.
+func hexOrRaw(s string) string {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return fmt.Sprintf("%.6g", f)
+	}
+	return s
 }
 
 func fatalf(format string, args ...any) {

@@ -37,7 +37,7 @@ var measuredSpeedups = map[string][]experiments.SpeedupPoint{}
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "comma-separated experiments to run (accuracy, samples, sequences, seqlen, curve, burnin, multichain, batch, proposalsize, nested, growth, all)")
+		experiment  = flag.String("experiment", "all", "comma-separated experiments to run (accuracy, samples, sequences, seqlen, curve, burnin, multichain, batch, tempering, proposalsize, nested, growth, all)")
 		scale       = flag.String("scale", "quick", "workload sizing: quick or paper")
 		workers     = flag.Int("workers", 0, "device parallelism (0 = all cores)")
 		seed        = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
@@ -60,13 +60,14 @@ func main() {
 		"burnin":       runBurnin,
 		"multichain":   runMultichain,
 		"batch":        runBatch,
+		"tempering":    runTempering,
 		"proposalsize": runProposalSize,
 		"nested":       runNested,
 		"growth":       runGrowth,
 	}
 	order := []string{
 		"accuracy", "samples", "sequences", "seqlen", "curve", "burnin",
-		"multichain", "batch", "proposalsize", "nested", "growth",
+		"multichain", "batch", "tempering", "proposalsize", "nested", "growth",
 	}
 	var names []string
 	if *experiment == "all" {
@@ -255,6 +256,29 @@ func runBatch(w io.Writer, c experiments.Common) error {
 		fmt.Fprintf(w, "%-6d %-12.3f %-12.3f %-14.2f %-14.2f %-10.2f\n",
 			p.Jobs, p.SerialSec, p.BatchSec, p.SerialJobsPerS, p.BatchJobsPerS, p.Speedup)
 	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runTempering(w io.Writer, c experiments.Common) error {
+	fmt.Fprintln(w, "=== Adaptive MC3: swap-rate-driven temperature ladder vs fixed geometric ===")
+	pts, err := experiments.TemperingComparison(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-12s %-10s\n", "ladder", "spread", "cold ESS", "swaps", "rate")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %-10.3f %-10.0f %-12s %-10.3f\n",
+			p.Mode, p.Spread, p.ColdESS,
+			fmt.Sprintf("%d/%d", p.Swaps, p.SwapAttempts),
+			float64(p.Swaps)/float64(p.SwapAttempts))
+		for i := range p.Rates {
+			fmt.Fprintf(w, "  pair %d-%d: T %-9.4g <-> %-9.4g swap rate %.3f\n",
+				i, i+1, 1/p.Betas[i], 1/p.Betas[i+1], p.Rates[i])
+		}
+	}
+	fmt.Fprintln(w, "spread = max-min of per-pair swap acceptance; the adaptive ladder's")
+	fmt.Fprintln(w, "objective is to drive it toward 0 without losing cold-chain ESS.")
 	fmt.Fprintln(w)
 	return nil
 }

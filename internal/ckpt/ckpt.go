@@ -40,9 +40,24 @@ import (
 	"path/filepath"
 )
 
-// FormatVersion is the checkpoint format this build reads and writes.
-// Restore rejects files with any other version.
-const FormatVersion = 1
+// FormatVersion is the checkpoint format this build writes.
+//
+// Version history:
+//
+//	1 — initial format (PR 4).
+//	2 — heated snapshots carry the temperature-ladder controller state
+//	    (adapted β schedule, per-pair swap windows, adaptation clock),
+//	    which adaptive MC³ makes runtime state.
+//
+// Load accepts MinFormatVersion through FormatVersion: a version-1 file
+// simply carries no ladder state, which is fine for non-adaptive runs
+// (their ladder is recomputed exactly on restore) and rejected — at
+// restore time, with a clear error — for adaptive ones.
+const FormatVersion = 2
+
+// MinFormatVersion is the oldest checkpoint format this build still
+// loads.
+const MinFormatVersion = 1
 
 // FileName is the checkpoint file inside a checkpoint directory.
 const FileName = "batch.json"
@@ -115,6 +130,7 @@ type Step struct {
 	Host    *RNGState  `json:"host,omitempty"`
 	Streams []RNGState `json:"streams,omitempty"`
 	Chains  []Chain    `json:"chains,omitempty"`
+	Ladder  *Ladder    `json:"ladder,omitempty"`
 	Trace   *Trace     `json:"trace,omitempty"`
 
 	Accepted        int `json:"accepted,omitempty"`
@@ -131,6 +147,24 @@ type Chain struct {
 	Tree   Tree   `json:"tree"`
 	Beta   string `json:"beta"` // hex float
 	Serial bool   `json:"serial,omitempty"`
+}
+
+// Ladder is the wire form of tempering.State: the temperature-ladder
+// controller's runtime state carried by heated snapshots since format
+// version 2. Betas and gaps are hexadecimal floats (the schedule must
+// round-trip exactly for bit-identical resumes); each pair's sliding
+// window travels as base64 of its 0/1 outcome bytes, oldest first.
+type Ladder struct {
+	Adapt       bool     `json:"adapt,omitempty"`
+	Window      int      `json:"window"`
+	Betas       []string `json:"betas"`
+	Gaps        []string `json:"gaps,omitempty"`
+	Attempts    []int64  `json:"attempts,omitempty"`
+	Accepts     []int64  `json:"accepts,omitempty"`
+	EstAttempts []int64  `json:"est_attempts,omitempty"`
+	EstAccepts  []int64  `json:"est_accepts,omitempty"`
+	Windows     []string `json:"windows,omitempty"`
+	Adapts      int64    `json:"adapts,omitempty"`
 }
 
 // Tree is a genealogy in wire form: a newick rendering of the topology
@@ -212,9 +246,9 @@ func Load(dir string) (*Batch, error) {
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", Path(dir), err)
 	}
-	if probe.Version != FormatVersion {
-		return nil, fmt.Errorf("ckpt: %s: format version %d not supported by this build (want %d)",
-			Path(dir), probe.Version, FormatVersion)
+	if probe.Version < MinFormatVersion || probe.Version > FormatVersion {
+		return nil, fmt.Errorf("ckpt: %s: format version %d not supported by this build (want %d..%d)",
+			Path(dir), probe.Version, MinFormatVersion, FormatVersion)
 	}
 	var b Batch
 	if err := json.Unmarshal(raw, &b); err != nil {

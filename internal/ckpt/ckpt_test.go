@@ -245,6 +245,122 @@ func TestStepSnapshotWireRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAdaptiveLadderWireRoundTrip is the format-v2 statement: an
+// adaptive heated run's snapshot — whose ladder is mid-adaptation, with
+// partially filled windows and a moved β schedule — survives the JSON
+// wire bit-for-bit, so the resumed run finishes identical to the
+// uninterrupted one.
+func TestAdaptiveLadderWireRoundTrip(t *testing.T) {
+	dev := device.Serial()
+	aln, _, err := seqgen.SimulateData(6, 60, 1.0, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := felsen.New(model, aln, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := core.InitialTree(aln, 1.0, 88)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ChainConfig{Theta: 1.0, Burnin: 50, Samples: 80, Seed: 89}
+	h := core.NewHeated(eval, dev, 3)
+	h.Adapt = true
+	h.MaxTemp = 32
+	h.SwapWindow = 8
+
+	want, err := h.Run(init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill mid-burn-in (ladder still adapting) and post-burn-in (frozen).
+	for _, kill := range []int{30, 70} {
+		run, err := h.Start(init, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < kill; i++ {
+			if err := run.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := run.(core.SnapshotStepper).Snapshot()
+		if snap.Ladder == nil {
+			t.Fatal("heated snapshot carries no ladder state")
+		}
+		data, err := json.Marshal(EncodeStep(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire Step
+		if err := json.Unmarshal(data, &wire); err != nil {
+			t.Fatal(err)
+		}
+		if wire.Ladder == nil || !wire.Ladder.Adapt {
+			t.Fatal("wire snapshot lost the ladder")
+		}
+		decoded, err := DecodeStep(&wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The decoded ladder state must be exactly the exported one.
+		if len(decoded.Ladder.Betas) != len(snap.Ladder.Betas) {
+			t.Fatal("ladder rung count changed on the wire")
+		}
+		for i := range snap.Ladder.Betas {
+			if decoded.Ladder.Betas[i] != snap.Ladder.Betas[i] {
+				t.Fatalf("ladder beta %d changed on the wire: %v vs %v",
+					i, decoded.Ladder.Betas[i], snap.Ladder.Betas[i])
+			}
+		}
+		for i := range snap.Ladder.Gaps {
+			if decoded.Ladder.Gaps[i] != snap.Ladder.Gaps[i] {
+				t.Fatalf("ladder gap %d changed on the wire", i)
+			}
+		}
+		resumed, err := h.Start(init, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.(core.SnapshotStepper).Restore(decoded); err != nil {
+			t.Fatal(err)
+		}
+		for !resumed.Done() {
+			if err := resumed.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := resumed.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Samples.Stats {
+			if want.Samples.Stats[i] != got.Samples.Stats[i] ||
+				want.Samples.LogLik[i] != got.Samples.LogLik[i] {
+				t.Fatalf("kill=%d: draw %d differs after wire round-trip", kill, i)
+			}
+		}
+		for i := range want.Betas {
+			if want.Betas[i] != got.Betas[i] {
+				t.Fatalf("kill=%d: final adapted beta %d differs", kill, i)
+			}
+		}
+		for i := range want.PairSwapAttempts {
+			if want.PairSwapAttempts[i] != got.PairSwapAttempts[i] ||
+				want.PairSwaps[i] != got.PairSwaps[i] ||
+				want.EstPairSwapAttempts[i] != got.EstPairSwapAttempts[i] ||
+				want.EstPairSwaps[i] != got.EstPairSwaps[i] {
+				t.Fatalf("kill=%d: pair %d swap counters differ", kill, i)
+			}
+		}
+	}
+}
+
 // TestSaveLoad covers the file layer: atomic write, load, and version
 // rejection.
 func TestSaveLoad(t *testing.T) {
@@ -280,6 +396,48 @@ func TestLoadRejectsUnknownVersion(t *testing.T) {
 	}
 	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "version 999") {
 		t.Fatalf("unknown version not rejected: %v", err)
+	}
+	if err := os.WriteFile(Path(dir), []byte(`{"version": 0, "jobs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("version 0 not rejected")
+	}
+}
+
+// TestLoadAcceptsVersion1 pins backward compatibility: a checkpoint
+// written by a format-v1 build (no ladder state anywhere) still loads,
+// so pre-adaptive-MC³ checkpoints of non-adaptive runs stay resumable.
+func TestLoadAcceptsVersion1(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{
+ "version": 1,
+ "jobs": [
+  {"name": "old-done", "fingerprint": "fp1", "status": "done", "steps": 42, "theta": "0x1.8p+00"},
+  {"name": "old-paused", "fingerprint": "fp2", "status": "paused", "steps": 7,
+   "em": {"theta": "0x1p+00", "it": 0, "cur": {"newick": "(a:1,b:1)#2:0;", "ages": ["0x1p+00"], "tips": ["a","b"]}}}
+ ]
+}`
+	if err := os.WriteFile(Path(dir), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(dir)
+	if err != nil {
+		t.Fatalf("version-1 checkpoint rejected: %v", err)
+	}
+	if b.Version != 1 || len(b.Jobs) != 2 {
+		t.Fatalf("loaded %+v", b)
+	}
+	if b.Jobs[1].EM == nil || b.Jobs[1].EM.Active != nil {
+		t.Fatalf("paused v1 job decoded wrong: %+v", b.Jobs[1])
+	}
+	// A v1 EM state decodes into a core snapshot with no ladder.
+	em, err := DecodeEM(b.Jobs[1].EM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Active != nil {
+		t.Fatalf("v1 EM state grew an active pass: %+v", em)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"mpcgs/internal/gtree"
 	"mpcgs/internal/newick"
 	"mpcgs/internal/rng"
+	"mpcgs/internal/tempering"
 )
 
 // --- scalar and array codecs -----------------------------------------------
@@ -223,6 +224,72 @@ func DecodeChain(w Chain) (core.ChainSnapshot, error) {
 	return core.ChainSnapshot{Tree: tree, Beta: beta, Serial: w.Serial}, nil
 }
 
+// EncodeLadder converts a tempering controller state to wire form.
+func EncodeLadder(s *tempering.State) *Ladder {
+	if s == nil {
+		return nil
+	}
+	w := &Ladder{
+		Adapt:       s.Adapt,
+		Window:      s.Window,
+		Attempts:    append([]int64(nil), s.Attempts...),
+		Accepts:     append([]int64(nil), s.Accepts...),
+		EstAttempts: append([]int64(nil), s.EstAttempts...),
+		EstAccepts:  append([]int64(nil), s.EstAccepts...),
+		Adapts:      s.Adapts,
+	}
+	for _, b := range s.Betas {
+		w.Betas = append(w.Betas, hexFloat(b))
+	}
+	for _, g := range s.Gaps {
+		w.Gaps = append(w.Gaps, hexFloat(g))
+	}
+	for _, win := range s.Windows {
+		w.Windows = append(w.Windows, base64.StdEncoding.EncodeToString(win.Outcomes))
+	}
+	return w
+}
+
+// DecodeLadder converts a wire ladder state back. Structural validation
+// (rung counts, window capacities, monotone betas) is the controller's
+// Restore's job; here only the encodings are checked.
+func DecodeLadder(w *Ladder) (*tempering.State, error) {
+	if w == nil {
+		return nil, nil
+	}
+	s := &tempering.State{
+		Adapt:       w.Adapt,
+		Window:      w.Window,
+		Attempts:    append([]int64(nil), w.Attempts...),
+		Accepts:     append([]int64(nil), w.Accepts...),
+		EstAttempts: append([]int64(nil), w.EstAttempts...),
+		EstAccepts:  append([]int64(nil), w.EstAccepts...),
+		Adapts:      w.Adapts,
+	}
+	for i, b := range w.Betas {
+		f, err := parseHexFloat(b)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: ladder beta %d: %w", i, err)
+		}
+		s.Betas = append(s.Betas, f)
+	}
+	for i, g := range w.Gaps {
+		f, err := parseHexFloat(g)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: ladder gap %d: %w", i, err)
+		}
+		s.Gaps = append(s.Gaps, f)
+	}
+	for i, win := range w.Windows {
+		buf, err := base64.StdEncoding.DecodeString(win)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: ladder window %d: %w", i, err)
+		}
+		s.Windows = append(s.Windows, tempering.WindowState{Outcomes: buf})
+	}
+	return s, nil
+}
+
 // EncodeTrace converts a recorded trace to wire form. The per-draw age
 // vectors all share one length; an empty trace encodes with NAges 0.
 func EncodeTrace(t *core.TraceSnapshot) *Trace {
@@ -282,6 +349,7 @@ func EncodeStep(s *core.StepSnapshot) *Step {
 		Sampler:         s.Sampler,
 		Step:            s.Step,
 		Cur:             s.Cur,
+		Ladder:          EncodeLadder(s.Ladder),
 		Trace:           EncodeTrace(s.Trace),
 		Accepted:        s.Accepted,
 		Proposals:       s.Proposals,
@@ -343,6 +411,11 @@ func DecodeStep(w *Step) (*core.StepSnapshot, error) {
 		}
 		s.Chains = append(s.Chains, dec)
 	}
+	ladder, err := DecodeLadder(w.Ladder)
+	if err != nil {
+		return nil, err
+	}
+	s.Ladder = ladder
 	trace, err := DecodeTrace(w.Trace)
 	if err != nil {
 		return nil, err

@@ -51,6 +51,7 @@ type EMResult struct {
 	Theta      float64
 	History    []EMIteration
 	LastSet    *SampleSet  // sample set of the final iteration
+	LastRun    *Result     // full sampler result of the final iteration
 	FinalState *gtree.Tree // final chain state
 }
 
@@ -203,6 +204,7 @@ func (e *EMRun) finishIteration(run *Result) error {
 		MeanLogLik:     meanLL,
 	})
 	e.res.LastSet = run.Samples
+	e.res.LastRun = run
 	e.res.FinalState = run.Final
 	e.cur = run.Final
 	moved := math.Abs(next-e.theta) / e.theta

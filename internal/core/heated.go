@@ -8,6 +8,7 @@ import (
 	"mpcgs/internal/felsen"
 	"mpcgs/internal/gtree"
 	"mpcgs/internal/rng"
+	"mpcgs/internal/tempering"
 )
 
 // Heated is Metropolis-coupled MCMC (MC³), the heating strategy of the
@@ -25,6 +26,13 @@ import (
 // evaluation compounds. Swaps exchange whole rung states (trees together
 // with their caches), so no cache ever needs rebasing after a swap.
 //
+// The β schedule is owned by a tempering.Ladder controller. By default it
+// is the fixed geometric ladder; with Adapt set, the controller retunes
+// the interior temperatures from the observed per-pair swap rates during
+// burn-in (LAMARC's runtime heating adaptation, Vousden-style stochastic
+// approximation) and freezes the ladder when burn-in ends, so every
+// recorded estimation draw targets a fixed, correct distribution.
+//
 // MC³ parallelizes across the ladder, but like the independent-chains
 // approach it cannot parallelize burn-in below one chain's length — the
 // contrast motivating the paper's GMH sampler. It is provided both as a
@@ -36,12 +44,21 @@ type Heated struct {
 	// Chains is the ladder size P (>= 1; 1 reduces to plain MH).
 	Chains int
 	// MaxTemp is the hottest chain's temperature T_{P-1} (β = 1/T).
-	// Zero selects 8. Intermediate temperatures are geometric.
+	// Zero selects 8; values below 1 (including negative ones) are
+	// rejected at Start. Intermediate temperatures start geometric.
 	MaxTemp float64
 	// SwapEvery is the number of within-chain steps between swap
 	// attempts. Zero selects 1 (a swap attempt every step, LAMARC's
-	// default behaviour).
+	// default behaviour); negative values are rejected at Start.
 	SwapEvery int
+	// Adapt turns on swap-rate-driven temperature-ladder adaptation
+	// during burn-in. Off, the ladder is the fixed geometric reference
+	// schedule (bit-identical to the historical behaviour).
+	Adapt bool
+	// SwapWindow is the sliding-window size (per adjacent pair) the
+	// controller estimates swap rates over. Zero selects
+	// tempering.DefaultWindow; negative values are rejected at Start.
+	SwapWindow int
 	// SerialEval makes every rung re-evaluate proposals from scratch, the
 	// pre-engine behaviour kept as the equivalence-test oracle and for
 	// benchmarking the delta path's per-step advantage.
@@ -67,10 +84,11 @@ type heatedRun struct {
 	h         *Heated
 	p         int
 	swapEvery int
+	burnin    int
 	total     int
 
 	theta    float64
-	betas    []float64
+	ladder   *tempering.Ladder
 	states   []*chainState
 	host     *rng.MT19937
 	streams  *rng.StreamSet
@@ -80,6 +98,12 @@ type heatedRun struct {
 	rec  *recorder
 	res  *Result
 	step int
+	// noPairHistory marks a run restored from a snapshot without ladder
+	// state (checkpoint format v1): the aggregate Swaps/SwapAttempts
+	// counters were restored but the per-pair breakdown was not recorded
+	// by the old format, so Finish omits the per-pair profile instead of
+	// reporting post-resume counts as if they covered the whole run.
+	noPairHistory bool
 }
 
 // Start implements StepSampler.
@@ -98,34 +122,44 @@ func (h *Heated) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 		return nil, fmt.Errorf("core: heated sampler needs at least 1 chain, got %d", p)
 	}
 	maxTemp := h.MaxTemp
-	if maxTemp <= 0 {
+	if maxTemp == 0 {
 		maxTemp = 8
 	}
 	if maxTemp < 1 {
 		return nil, fmt.Errorf("core: MaxTemp %v must be at least 1", maxTemp)
 	}
+	if h.SwapEvery < 0 {
+		return nil, fmt.Errorf("core: SwapEvery %d must not be negative", h.SwapEvery)
+	}
 	swapEvery := h.SwapEvery
-	if swapEvery <= 0 {
+	if swapEvery == 0 {
 		swapEvery = 1
 	}
+	if h.SwapWindow < 0 {
+		return nil, fmt.Errorf("core: SwapWindow %d must not be negative", h.SwapWindow)
+	}
 
-	// Geometric temperature ladder: T_i = MaxTemp^{i/(P-1)}.
-	betas := make([]float64, p)
-	for i := range betas {
-		if p == 1 {
-			betas[i] = 1
-			break
-		}
-		betas[i] = math.Pow(maxTemp, -float64(i)/float64(p-1))
+	// The β schedule lives in the ladder controller: geometric
+	// T_i = MaxTemp^{i/(P-1)} initially, retuned at swap attempts during
+	// burn-in when Adapt is on.
+	ladder, err := tempering.New(tempering.Config{
+		Chains:  p,
+		MaxTemp: maxTemp,
+		Adapt:   h.Adapt,
+		Window:  h.SwapWindow,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	r := &heatedRun{
 		h:         h,
 		p:         p,
 		swapEvery: swapEvery,
+		burnin:    cfg.Burnin,
 		total:     cfg.Burnin + cfg.Samples,
 		theta:     cfg.Theta,
-		betas:     betas,
+		ladder:    ladder,
 		host:      seedSource(cfg.Seed, 5),
 		streams:   rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f),
 		accepted:  make([]bool, p),
@@ -137,7 +171,7 @@ func (h *Heated) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	// The shared starting tree is evaluated once and replicated.
 	r.states = newChainLadder(h.eval, init, h.SerialEval, p)
 	for i := range r.states {
-		r.states[i].beta = betas[i]
+		r.states[i].beta = ladder.Beta(i)
 	}
 	r.res = &Result{Samples: r.rec.set}
 
@@ -162,19 +196,26 @@ func (r *heatedRun) Step() error {
 	}
 
 	// Swap attempt between a random adjacent pair (serial, cheap).
-	// Accepted swaps exchange the whole rung states and re-pin the
-	// tempering exponents to the ladder positions: the trees move,
-	// the temperatures stay.
+	// Accepted swaps exchange the whole rung states: the trees move,
+	// the temperatures stay with their ladder positions. The controller
+	// records the outcome and — during burn-in, with adaptation on —
+	// retunes the ladder, after which every rung's β is re-pinned to the
+	// (possibly moved) schedule.
 	if r.p > 1 && r.step%r.swapEvery == 0 {
 		i := rng.Intn(r.host, r.p-1)
 		j := i + 1
-		logr := (r.betas[i] - r.betas[j]) * (r.states[j].logLik - r.states[i].logLik)
-		if logr >= 0 || r.host.Float64() < math.Exp(logr) {
+		bi, bj := r.ladder.Beta(i), r.ladder.Beta(j)
+		logr := (bi - bj) * (r.states[j].logLik - r.states[i].logLik)
+		swapped := logr >= 0 || r.host.Float64() < math.Exp(logr)
+		if swapped {
 			r.states[i], r.states[j] = r.states[j], r.states[i]
-			r.states[i].beta, r.states[j].beta = r.betas[i], r.betas[j]
 			r.res.Swaps++
 		}
 		r.res.SwapAttempts++
+		r.ladder.Record(i, swapped, r.step < r.burnin)
+		for k := range r.states {
+			r.states[k].beta = r.ladder.Beta(k)
+		}
 	}
 
 	r.rec.recordState(r.states[0])
@@ -188,11 +229,22 @@ func (r *heatedRun) Done() bool { return r.step >= r.total }
 // Finish implements Stepper.
 func (r *heatedRun) Finish() (*Result, error) {
 	r.res.Final = r.states[0].cur.Clone()
+	r.res.Betas = r.ladder.Betas()
+	r.res.LadderAdapted = r.ladder.Adaptive()
+	r.res.LadderAdaptations = r.ladder.Adaptations()
+	if !r.noPairHistory {
+		r.res.PairSwapAttempts = r.ladder.PairAttempts()
+		r.res.PairSwaps = r.ladder.PairAccepts()
+		r.res.EstPairSwapAttempts = r.ladder.EstPairAttempts()
+		r.res.EstPairSwaps = r.ladder.EstPairAccepts()
+	}
 	return r.res, nil
 }
 
 // Snapshot implements SnapshotStepper: every rung's chain state in ladder
-// order, plus the swap generator and all rung streams.
+// order, plus the swap generator, all rung streams, and the ladder
+// controller's runtime state (the adapted schedule, per-pair windows and
+// adaptation clock) — checkpoint format v2 carries the latter.
 func (r *heatedRun) Snapshot() *StepSnapshot {
 	chains := make([]ChainSnapshot, r.p)
 	for i, st := range r.states {
@@ -204,6 +256,7 @@ func (r *heatedRun) Snapshot() *StepSnapshot {
 		Host:     r.host.State(),
 		Streams:  r.streams.State(),
 		Chains:   chains,
+		Ladder:   r.ladder.Snapshot(),
 		Trace:    r.rec.snapshot(),
 		Counters: countersOf(r.res),
 	}
@@ -223,13 +276,28 @@ func (r *heatedRun) Restore(s *StepSnapshot) error {
 	if s.Trace == nil || len(s.Trace.Stats) != s.Step {
 		return fmt.Errorf("core: heated snapshot trace does not match step %d", s.Step)
 	}
+	if s.Ladder != nil {
+		if err := r.ladder.Restore(s.Ladder); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	} else if r.h.Adapt {
+		// A format-v1 snapshot carries no ladder state; the adapted
+		// schedule is runtime state, so an adaptive run cannot resume
+		// from it. Non-adaptive runs can: their ladder is recomputed
+		// exactly, and the β check below cross-validates it — but the
+		// per-pair swap history is gone, so Finish will omit it.
+		return fmt.Errorf("core: heated snapshot has no ladder state (format v1?); an adaptive run needs a v2 snapshot")
+	} else {
+		r.noPairHistory = true
+	}
 	for i := range s.Chains {
-		// Swaps re-pin β to the ladder position, so a rung's snapshot β
-		// must equal the run's recomputed ladder exactly; a mismatch means
-		// Chains or MaxTemp changed since the snapshot.
-		if s.Chains[i].Beta != r.betas[i] {
+		// Swaps keep β pinned to the ladder position, so a rung's
+		// snapshot β must equal the restored controller's schedule
+		// exactly; a mismatch means Chains or MaxTemp changed since the
+		// snapshot.
+		if s.Chains[i].Beta != r.ladder.Beta(i) {
 			return fmt.Errorf("core: heated snapshot rung %d has beta %v, ladder has %v (MaxTemp/Chains changed?)",
-				i, s.Chains[i].Beta, r.betas[i])
+				i, s.Chains[i].Beta, r.ladder.Beta(i))
 		}
 	}
 	if err := r.host.SetState(s.Host); err != nil {

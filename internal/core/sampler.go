@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"mpcgs/internal/gtree"
 	"mpcgs/internal/rng"
@@ -109,6 +110,68 @@ type Result struct {
 	// sampler only).
 	Swaps        int
 	SwapAttempts int
+	// PairSwapAttempts and PairSwaps break the ladder exchanges down per
+	// adjacent rung pair (heated only; index i is the (i, i+1) pair) —
+	// the swap-rate profile the adaptive ladder controller flattens.
+	// EstPairSwapAttempts/EstPairSwaps count only the estimation phase
+	// (after burn-in, when an adaptive ladder is frozen): those are the
+	// rates of the schedule the recorded draws were actually sampled
+	// under, free of the equilibration transient.
+	PairSwapAttempts    []int64
+	PairSwaps           []int64
+	EstPairSwapAttempts []int64
+	EstPairSwaps        []int64
+	// Betas is the final temperature ladder β_0..β_{P-1} (heated only);
+	// with adaptation on it is the adapted schedule, otherwise the fixed
+	// geometric one.
+	Betas []float64
+	// LadderAdapted reports whether the run was configured for
+	// swap-rate-driven ladder adaptation; LadderAdaptations counts the
+	// updates actually applied. Zero updates on an adapted run means
+	// adaptation never engaged: either the configuration has nothing to
+	// adapt (fewer than 3 rungs — both endpoints are pinned — or a flat
+	// MaxTemp=1 ladder), or the burn-in ended before the warm-up (every
+	// pair's window filling once) completed.
+	LadderAdapted     bool
+	LadderAdaptations int64
+}
+
+// PairRates converts per-pair accept/attempt counts to acceptance rates
+// (NaN for a pair never attempted), the one place the 0/0 convention is
+// defined for reports. A ragged accepts slice (possible when the counts
+// come straight off an untrusted wire, e.g. `mpcgs -inspect` on a
+// hand-edited checkpoint) is treated as zero accepts for the missing
+// pairs rather than panicking.
+func PairRates(accepts, attempts []int64) []float64 {
+	if len(attempts) == 0 {
+		return nil
+	}
+	out := make([]float64, len(attempts))
+	for i := range out {
+		if attempts[i] == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		var acc int64
+		if i < len(accepts) {
+			acc = accepts[i]
+		}
+		out[i] = float64(acc) / float64(attempts[i])
+	}
+	return out
+}
+
+// PairSwapRates returns the per-adjacent-pair swap acceptance rates over
+// the whole run (NaN for a pair never attempted), or nil for non-ladder
+// samplers.
+func (r *Result) PairSwapRates() []float64 {
+	return PairRates(r.PairSwaps, r.PairSwapAttempts)
+}
+
+// EstPairSwapRates returns the estimation-phase (post-burn-in, frozen
+// ladder) per-adjacent-pair swap acceptance rates.
+func (r *Result) EstPairSwapRates() []float64 {
+	return PairRates(r.EstPairSwaps, r.EstPairSwapAttempts)
 }
 
 // AcceptanceRate returns the fraction of state-changing draws.

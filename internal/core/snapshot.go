@@ -5,6 +5,7 @@ import (
 
 	"mpcgs/internal/gtree"
 	"mpcgs/internal/rng"
+	"mpcgs/internal/tempering"
 )
 
 // Chain/stepper/EM snapshots: the serializable state of a run at a
@@ -162,7 +163,10 @@ func (c Counters) applyTo(res *Result) {
 //     index-chain walk order, so it must survive), Chains[0] (the current
 //     slot's tree), Trace, Counters. Step is the number of recorded draws.
 //   - "heated": Host (the swap generator), Streams (one per rung),
-//     Chains (every rung in ladder order), Trace, Counters, Step.
+//     Chains (every rung in ladder order), Ladder (the temperature-ladder
+//     controller's runtime state — the adapted β schedule, per-pair swap
+//     windows and adaptation clock; checkpoint format v2), Trace,
+//     Counters, Step.
 //   - "multichain": Subs (one "mh" snapshot per chain, in chain order).
 type StepSnapshot struct {
 	Sampler string
@@ -171,6 +175,7 @@ type StepSnapshot struct {
 	Host    rng.MTState
 	Streams []rng.MTState
 	Chains  []ChainSnapshot
+	Ladder  *tempering.State
 	Trace   *TraceSnapshot
 	Counters
 	Subs []*StepSnapshot

@@ -25,6 +25,28 @@ func resultsIdentical(t *testing.T, label string, want, got *Result) {
 		got.Swaps != want.Swaps || got.SwapAttempts != want.SwapAttempts {
 		t.Fatalf("%s: counters differ: %+v vs %+v", label, got, want)
 	}
+	sameInt64s := func(field string, a, b []int64) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: %s length differs: %d vs %d", label, field, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: %s[%d] differs: %d vs %d", label, field, i, b[i], a[i])
+			}
+		}
+	}
+	sameInt64s("PairSwapAttempts", want.PairSwapAttempts, got.PairSwapAttempts)
+	sameInt64s("PairSwaps", want.PairSwaps, got.PairSwaps)
+	sameInt64s("EstPairSwapAttempts", want.EstPairSwapAttempts, got.EstPairSwapAttempts)
+	sameInt64s("EstPairSwaps", want.EstPairSwaps, got.EstPairSwaps)
+	if len(want.Betas) != len(got.Betas) {
+		t.Fatalf("%s: ladder size differs: %d vs %d", label, len(got.Betas), len(want.Betas))
+	}
+	for i := range want.Betas {
+		if want.Betas[i] != got.Betas[i] {
+			t.Fatalf("%s: ladder beta %d differs bitwise: %v vs %v", label, i, got.Betas[i], want.Betas[i])
+		}
+	}
 	if want.Final.String() != got.Final.String() {
 		t.Fatalf("%s: final genealogy differs", label)
 	}

@@ -186,3 +186,36 @@ func TestGrowthEstimationDirection(t *testing.T) {
 			pts[1].Growth, pts[0].Growth)
 	}
 }
+
+func TestTemperingComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	// The acceptance criterion of the adaptive ladder: on the §6-scale
+	// workload its estimation-phase swap rates are flatter across pairs
+	// (smaller max−min spread) than the fixed geometric schedule's.
+	pts, err := TemperingComparison(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Mode != "fixed" || pts[1].Mode != "adaptive" {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	fixed, adaptive := pts[0], pts[1]
+	if len(fixed.Rates) != len(adaptive.Rates) || len(fixed.Rates) == 0 {
+		t.Fatalf("rate profiles ragged: %d vs %d pairs", len(fixed.Rates), len(adaptive.Rates))
+	}
+	if adaptive.Spread >= fixed.Spread {
+		t.Errorf("adaptive ladder not flatter: spread %.3f vs fixed %.3f",
+			adaptive.Spread, fixed.Spread)
+	}
+	// The adapted schedule must still be a valid pinned ladder.
+	if adaptive.Betas[0] != 1 {
+		t.Errorf("adapted cold rung beta %v", adaptive.Betas[0])
+	}
+	for i := 1; i < len(adaptive.Betas); i++ {
+		if !(adaptive.Betas[i] > 0 && adaptive.Betas[i] < adaptive.Betas[i-1]) {
+			t.Errorf("adapted betas not strictly decreasing: %v", adaptive.Betas)
+		}
+	}
+}

@@ -64,6 +64,20 @@ func Fingerprint(j Job) string {
 	writeInt(uint64(j.EMIterations))
 	writeInt(j.Seed)
 	writeInt(math.Float64bits(j.InitialTheta))
+	// Tempering knobs joined the spec after v1 checkpoints shipped. They
+	// are hashed only when any is set, so every pre-existing job spec
+	// keeps its v1 fingerprint and old checkpoints stay resumable.
+	if j.MaxTemp != 0 || j.SwapEvery != 0 || j.AdaptLadder || j.SwapWindow != 0 {
+		writeStr("tempering")
+		writeInt(math.Float64bits(j.MaxTemp))
+		writeInt(uint64(j.SwapEvery))
+		adapt := uint64(0)
+		if j.AdaptLadder {
+			adapt = 1
+		}
+		writeInt(adapt)
+		writeInt(uint64(j.SwapWindow))
+	}
 	if j.Alignment != nil {
 		writeInt(uint64(j.Alignment.NSeq()))
 		for i, name := range j.Alignment.Names {

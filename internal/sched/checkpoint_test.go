@@ -18,11 +18,21 @@ import (
 // kill/resume test drives.
 func ckptJobs(t *testing.T) []Job {
 	t.Helper()
+	// The adaptive heated job uses a 3-rung ladder (2 rungs have no
+	// interior temperature to adapt) and a small swap window so the
+	// adaptation engages within the short burn-in — the adapted-ladder
+	// kill/resume case of the checkpoint acceptance contract.
+	adaptive := quickJob("adaptive-heated-job", testAlignment(t, 6, 60, 605), "heated", 615)
+	adaptive.Chains = 3
+	adaptive.AdaptLadder = true
+	adaptive.MaxTemp = 32
+	adaptive.SwapWindow = 8
 	return []Job{
 		quickJob("gmh-job", testAlignment(t, 6, 60, 601), "gmh", 611),
 		quickJob("mh-job", testAlignment(t, 6, 60, 602), "mh", 612),
 		quickJob("heated-job", testAlignment(t, 6, 60, 603), "heated", 613),
 		quickJob("multichain-job", testAlignment(t, 6, 60, 604), "multichain", 614),
+		adaptive,
 	}
 }
 
@@ -336,6 +346,31 @@ func TestLoadManifestRejectsDuplicatesAndBadCounts(t *testing.T) {
 			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "em_iterations": -1}]}`,
 			"EM iteration count -1",
 		},
+		"max_temp below 1": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "sampler": "heated", "max_temp": 0.5}]}`,
+			"max_temp 0.5",
+		},
+		"negative max_temp": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "sampler": "heated", "max_temp": -4}]}`,
+			"max_temp -4",
+		},
+		"negative swap_every": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "sampler": "heated", "swap_every": -1}]}`,
+			"swap_every -1",
+		},
+		"negative swap_window": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "sampler": "heated", "swap_window": -8}]}`,
+			"swap_window -8",
+		},
+		"tempering knob on non-heated sampler": {
+			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "sampler": "gmh", "adapt_ladder": true}]}`,
+			"only meaningful for the heated sampler",
+		},
+		"job-level tempering knob with sampler inherited as non-heated": {
+			`{"defaults": {"sampler": "mh"},
+			  "jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "max_temp": 16}]}`,
+			"only meaningful for the heated sampler",
+		},
 	}
 	for name, tc := range cases {
 		path := filepath.Join(dir, "m.json")
@@ -362,14 +397,18 @@ func TestFingerprintSensitivity(t *testing.T) {
 		t.Fatal("fingerprint not deterministic")
 	}
 	mutations := map[string]func(*Job){
-		"seed":      func(j *Job) { j.Seed++ },
-		"sampler":   func(j *Job) { j.Sampler = "mh" },
-		"theta":     func(j *Job) { j.InitialTheta *= 2 },
-		"burnin":    func(j *Job) { j.Burnin++ },
-		"samples":   func(j *Job) { j.Samples++ },
-		"proposals": func(j *Job) { j.Proposals++ },
-		"chains":    func(j *Job) { j.Chains++ },
-		"data":      func(j *Job) { j.Alignment = testAlignment(t, 5, 40, 673) },
+		"seed":         func(j *Job) { j.Seed++ },
+		"sampler":      func(j *Job) { j.Sampler = "mh" },
+		"theta":        func(j *Job) { j.InitialTheta *= 2 },
+		"burnin":       func(j *Job) { j.Burnin++ },
+		"samples":      func(j *Job) { j.Samples++ },
+		"proposals":    func(j *Job) { j.Proposals++ },
+		"chains":       func(j *Job) { j.Chains++ },
+		"data":         func(j *Job) { j.Alignment = testAlignment(t, 5, 40, 673) },
+		"max_temp":     func(j *Job) { j.MaxTemp = 16 },
+		"swap_every":   func(j *Job) { j.SwapEvery = 2 },
+		"adapt_ladder": func(j *Job) { j.AdaptLadder = true },
+		"swap_window":  func(j *Job) { j.SwapWindow = 32 },
 	}
 	for name, mutate := range mutations {
 		j := base
@@ -377,6 +416,12 @@ func TestFingerprintSensitivity(t *testing.T) {
 		if Fingerprint(j) == Fingerprint(base) {
 			t.Errorf("fingerprint ignores %s", name)
 		}
+	}
+	// The tempering fields were added after format-v1 checkpoints
+	// shipped: a job that leaves them all at their defaults must keep
+	// its historical v1 fingerprint, so old checkpoints stay resumable.
+	if got := Fingerprint(base); got != "5adf21257e1372e0bffc0f042367178877ac67ab1c5cb200e0877dbd5d4f8f67" {
+		t.Errorf("default-knob fingerprint changed — v1 checkpoints of knob-free jobs no longer resume (got %s)", got)
 	}
 }
 

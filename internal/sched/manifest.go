@@ -47,6 +47,15 @@ type ManifestJob struct {
 	Samples      int     `json:"samples"`
 	EMIterations int     `json:"em_iterations"`
 	Seed         uint64  `json:"seed"`
+	// Tempering knobs of the heated sampler. MaxTemp 0 selects the
+	// sampler default (8); AdaptLadder is a pointer so a per-job false
+	// can override a defaults-level true; SwapWindow 0 selects the
+	// controller default. All are rejected on jobs whose sampler is not
+	// "heated" — a knob that would be silently ignored is a spec bug.
+	MaxTemp     float64 `json:"max_temp"`
+	SwapEvery   int     `json:"swap_every"`
+	AdaptLadder *bool   `json:"adapt_ladder,omitempty"`
+	SwapWindow  int     `json:"swap_window"`
 }
 
 // merged returns the entry with zero-valued fields filled from defaults.
@@ -78,6 +87,24 @@ func (m ManifestJob) merged(d ManifestJob) ManifestJob {
 	if m.Seed == 0 {
 		m.Seed = d.Seed
 	}
+	// Tempering defaults are inherited only by jobs that resolve to the
+	// heated sampler: a defaults-level ladder configuration must not
+	// poison the non-heated jobs of a mixed manifest (and validate
+	// rejects these knobs only when a job sets them directly).
+	if m.Sampler == "heated" {
+		if m.MaxTemp == 0 {
+			m.MaxTemp = d.MaxTemp
+		}
+		if m.SwapEvery == 0 {
+			m.SwapEvery = d.SwapEvery
+		}
+		if m.AdaptLadder == nil {
+			m.AdaptLadder = d.AdaptLadder
+		}
+		if m.SwapWindow == 0 {
+			m.SwapWindow = d.SwapWindow
+		}
+	}
 	return m
 }
 
@@ -102,6 +129,24 @@ func (m ManifestJob) validate() error {
 	}
 	if m.EMIterations < 0 {
 		return fmt.Errorf("EM iteration count %d must not be negative", m.EMIterations)
+	}
+	// Tempering knobs mirror the heated sampler's Start validation, so a
+	// bad manifest dies at load time with the job's name attached instead
+	// of mid-batch. On non-heated samplers the knobs would be silently
+	// ignored, which hides spec mistakes — reject them there too.
+	if m.MaxTemp != 0 && m.MaxTemp < 1 {
+		return fmt.Errorf("max_temp %v must be at least 1 (omit or 0 for the default)", m.MaxTemp)
+	}
+	if m.SwapEvery < 0 {
+		return fmt.Errorf("swap_every %d must not be negative", m.SwapEvery)
+	}
+	if m.SwapWindow < 0 {
+		return fmt.Errorf("swap_window %d must not be negative", m.SwapWindow)
+	}
+	if m.Sampler != "heated" {
+		if m.MaxTemp != 0 || m.SwapEvery != 0 || m.AdaptLadder != nil || m.SwapWindow != 0 {
+			return fmt.Errorf("max_temp/swap_every/adapt_ladder/swap_window are only meaningful for the heated sampler (job resolves to %q)", m.Sampler)
+		}
 	}
 	return nil
 }
@@ -159,6 +204,12 @@ func LoadManifest(path string) ([]Job, error) {
 			Samples:      entry.Samples,
 			EMIterations: entry.EMIterations,
 			Seed:         entry.Seed,
+			MaxTemp:      entry.MaxTemp,
+			SwapEvery:    entry.SwapEvery,
+			SwapWindow:   entry.SwapWindow,
+		}
+		if entry.AdaptLadder != nil {
+			job.AdaptLadder = *entry.AdaptLadder
 		}
 		if entry.Proposals != nil {
 			job.Proposals = *entry.Proposals

@@ -67,6 +67,20 @@ type Job struct {
 	// Chains is the heated/multichain chain count; 0 selects the pool's
 	// worker count.
 	Chains int
+	// MaxTemp is the heated ladder's hottest temperature; 0 selects the
+	// sampler default (8). Values below 1 are rejected.
+	MaxTemp float64
+	// SwapEvery is the number of within-chain steps between heated swap
+	// attempts; 0 selects 1. Negative values are rejected.
+	SwapEvery int
+	// AdaptLadder turns on swap-rate-driven temperature-ladder
+	// adaptation for the heated sampler (adapted during burn-in, frozen
+	// after).
+	AdaptLadder bool
+	// SwapWindow is the sliding-window size for per-pair swap-rate
+	// tracking; 0 selects the controller default. Negative values are
+	// rejected.
+	SwapWindow int
 	// Burnin (default 1000) and Samples (default 10000) size each EM
 	// iteration's sampling pass.
 	Burnin  int
@@ -122,6 +136,10 @@ type Result struct {
 	// trace the equivalence tests compare). It is nil for jobs restored
 	// from a checkpoint without being re-run.
 	LastSet *core.SampleSet
+	// LastRun is the full sampler result of the final EM iteration — the
+	// source of the heated per-pair swap-rate report. Nil for jobs
+	// restored from a checkpoint without being re-run.
+	LastRun *core.Result
 	// Steps counts the sampler transitions the scheduler drove (including
 	// transitions driven before a resume).
 	Steps int
@@ -301,6 +319,7 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 			res.Theta = out.Theta
 			res.History = out.History
 			res.LastSet = out.LastSet
+			res.LastRun = out.LastRun
 		}
 		live--
 		if live == 0 {
@@ -413,6 +432,7 @@ func RunStandalone(job Job, workers int) (Result, error) {
 	res.Theta = out.Theta
 	res.History = out.History
 	res.LastSet = out.LastSet
+	res.LastRun = out.LastRun
 	return res, nil
 }
 
@@ -483,7 +503,12 @@ func buildSampler(j Job, eval *felsen.Evaluator, dev *device.Device) (core.Sampl
 	case "mh":
 		return core.NewMH(eval), nil
 	case "heated":
-		return core.NewHeated(eval, dev, j.Chains), nil
+		h := core.NewHeated(eval, dev, j.Chains)
+		h.MaxTemp = j.MaxTemp
+		h.SwapEvery = j.SwapEvery
+		h.Adapt = j.AdaptLadder
+		h.SwapWindow = j.SwapWindow
+		return h, nil
 	case "multichain":
 		return core.NewMultiChain(eval, dev, j.Chains), nil
 	default:

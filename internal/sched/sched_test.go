@@ -312,6 +312,67 @@ func TestLoadManifest(t *testing.T) {
 	}
 }
 
+// TestLoadManifestTemperingKnobs: the heated tempering knobs load, merge
+// from defaults (including a per-job false overriding a defaults-level
+// adapt_ladder true), and reach the Job spec.
+func TestLoadManifestTemperingKnobs(t *testing.T) {
+	dir := t.TempDir()
+	aln := testAlignment(t, 6, 40, 911)
+	f, err := os.Create(filepath.Join(dir, "pop.phy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phylip.Write(f, aln); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	manifest := `{
+  "defaults": {"sampler": "heated", "theta": 1.0, "burnin": 30, "samples": 100, "em_iterations": 1,
+               "chains": 3, "max_temp": 16, "adapt_ladder": true, "swap_window": 16},
+  "jobs": [
+    {"name": "inherits", "phylip": "pop.phy", "seed": 21},
+    {"name": "overrides", "phylip": "pop.phy", "seed": 22,
+     "max_temp": 4, "swap_every": 2, "adapt_ladder": false, "swap_window": 8},
+    {"name": "control", "phylip": "pop.phy", "seed": 23, "sampler": "mh"}
+  ]
+}`
+	path := filepath.Join(dir, "batch.json")
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := jobs[0], jobs[1], jobs[2]
+	if a.MaxTemp != 16 || a.SwapEvery != 0 || !a.AdaptLadder || a.SwapWindow != 16 {
+		t.Errorf("defaults not inherited: %+v", a)
+	}
+	if b.MaxTemp != 4 || b.SwapEvery != 2 || b.AdaptLadder || b.SwapWindow != 8 {
+		t.Errorf("overrides not applied: %+v", b)
+	}
+	// A non-heated control job in a manifest with tempering defaults
+	// must load cleanly, with the ladder knobs not inherited.
+	if c.Sampler != "mh" || c.MaxTemp != 0 || c.AdaptLadder || c.SwapWindow != 0 {
+		t.Errorf("tempering defaults leaked into the non-heated job: %+v", c)
+	}
+	// And the loaded adaptive batch actually runs.
+	results, err := RunBatch(context.Background(), nil, jobs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("manifest job %q failed: %v", r.Name, r.Err)
+		}
+	}
+	for _, r := range results[:2] {
+		if r.LastRun == nil || len(r.LastRun.PairSwapAttempts) != 2 {
+			t.Errorf("manifest job %q missing per-pair swap diagnostics", r.Name)
+		}
+	}
+}
+
 func TestLoadManifestErrors(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{

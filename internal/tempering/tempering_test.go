@@ -1,0 +1,335 @@
+package tempering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Chains: 0, MaxTemp: 8},
+		{Chains: -1, MaxTemp: 8},
+		{Chains: 4, MaxTemp: 0.5},
+		{Chains: 4, MaxTemp: -3},
+		{Chains: 4, MaxTemp: math.NaN()},
+		{Chains: 4, MaxTemp: math.Inf(1)},
+		{Chains: 4, MaxTemp: 8, Window: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted", cfg)
+		}
+	}
+	if _, err := New(Config{Chains: 1, MaxTemp: 1}); err != nil {
+		t.Errorf("single flat chain rejected: %v", err)
+	}
+}
+
+func TestGeometricScheduleMatchesReference(t *testing.T) {
+	// The initial schedule must be bit-identical to the historical fixed
+	// ladder: β_i = MaxTemp^{−i/(P−1)} computed with math.Pow.
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		l, err := New(Config{Chains: p, MaxTemp: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p; i++ {
+			want := 1.0
+			if p > 1 {
+				want = math.Pow(8, -float64(i)/float64(p-1))
+			}
+			if i == 0 {
+				want = 1
+			}
+			if l.Beta(i) != want {
+				t.Errorf("P=%d rung %d: beta %v, want %v", p, i, l.Beta(i), want)
+			}
+		}
+	}
+}
+
+func TestRecordBookkeeping(t *testing.T) {
+	l, err := New(Config{Chains: 4, MaxTemp: 8, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 attempts on pair 0 (window capacity 4): cumulative counters see
+	// all of them, the window only the last 4.
+	outcomes := []bool{true, true, false, true, false, false}
+	for _, x := range outcomes {
+		l.Record(0, x, true)
+	}
+	l.Record(2, true, false) // estimation phase
+	if got := l.PairAttempts(); got[0] != 6 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("attempts %v", got)
+	}
+	if got := l.PairAccepts(); got[0] != 3 || got[2] != 1 {
+		t.Errorf("accepts %v", got)
+	}
+	if got := l.EstPairAttempts(); got[0] != 0 || got[2] != 1 {
+		t.Errorf("est attempts %v", got)
+	}
+	if r, ok := l.wins[0].rate(); !ok || r != 0.25 {
+		// Window holds the last 4 outcomes: true, false, false, false.
+		t.Errorf("windowed rate %v (ok=%v), want 0.25", r, ok)
+	}
+	if _, ok := l.wins[1].rate(); ok {
+		t.Error("unattempted pair reports a windowed rate")
+	}
+}
+
+// fullWindows fills every pair's window so adaptation is warmed up.
+func fullWindows(l *Ladder, accepted bool) {
+	for p := 0; p < l.Chains()-1; p++ {
+		for k := 0; k < l.Window(); k++ {
+			l.Record(p, accepted, false)
+		}
+	}
+}
+
+func TestFixedLadderNeverMoves(t *testing.T) {
+	l, err := New(Config{Chains: 4, MaxTemp: 8, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Betas()
+	fullWindows(l, true)
+	for i := 0; i < 500; i++ {
+		l.Record(i%3, i%2 == 0, true)
+	}
+	for i, b := range l.Betas() {
+		if b != want[i] {
+			t.Fatalf("non-adaptive ladder moved: rung %d %v -> %v", i, want[i], b)
+		}
+	}
+}
+
+func TestFrozenLadderNeverMoves(t *testing.T) {
+	l, err := New(Config{Chains: 4, MaxTemp: 8, Adapt: true, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullWindows(l, true)
+	for i := 0; i < 200; i++ {
+		l.Record(i%3, i%2 == 0, true)
+	}
+	want := l.Betas()
+	for i := 0; i < 500; i++ {
+		l.Record(i%3, i%2 == 0, false) // frozen: adaptNow false
+	}
+	for i, b := range l.Betas() {
+		if b != want[i] {
+			t.Fatalf("frozen ladder moved: rung %d %v -> %v", i, want[i], b)
+		}
+	}
+}
+
+func TestAdaptationWidensAcceptingPairs(t *testing.T) {
+	// Pair 0 accepts every swap, pair 1 and 2 none: pair 0's temperature
+	// gap must grow relative to the others, and the schedule must remain
+	// a valid pinned ladder throughout.
+	l, err := New(Config{Chains: 4, MaxTemp: 8, Adapt: true, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logGap := func(i int) float64 {
+		return math.Log(1/l.Beta(i+1)) - math.Log(1/l.Beta(i))
+	}
+	g0 := logGap(0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := rng.Intn(3)
+		l.Record(p, p == 0, true)
+	}
+	if l.Beta(0) != 1 {
+		t.Fatalf("cold rung beta %v, want 1", l.Beta(0))
+	}
+	if got := 1 / l.Beta(3); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("hot rung temperature %v, want pinned at 8", got)
+	}
+	for i := 1; i < 4; i++ {
+		if !(l.Beta(i) > 0 && l.Beta(i) < l.Beta(i-1)) {
+			t.Fatalf("betas not strictly decreasing: %v", l.Betas())
+		}
+	}
+	if logGap(0) <= g0 {
+		t.Errorf("always-accepting pair's gap did not widen: %v -> %v", g0, logGap(0))
+	}
+	if logGap(0) <= logGap(1) || logGap(0) <= logGap(2) {
+		t.Errorf("accepting pair's gap %v not dominant over %v, %v", logGap(0), logGap(1), logGap(2))
+	}
+}
+
+func TestFlatLadderDoesNotAdapt(t *testing.T) {
+	// MaxTemp 1: every rung is cold, there is no temperature span to
+	// redistribute, and adaptation must be a no-op.
+	l, err := New(Config{Chains: 4, MaxTemp: 1, Adapt: true, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullWindows(l, true)
+	for i := 0; i < 200; i++ {
+		l.Record(i%3, true, true)
+	}
+	for i, b := range l.Betas() {
+		if b != 1 {
+			t.Fatalf("flat ladder rung %d moved to %v", i, b)
+		}
+	}
+}
+
+func TestTwoRungLadderDoesNotAdapt(t *testing.T) {
+	// P=2: both endpoints are pinned, there is no interior temperature.
+	l, err := New(Config{Chains: 2, MaxTemp: 8, Adapt: true, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Betas()
+	fullWindows(l, true)
+	for i := 0; i < 200; i++ {
+		l.Record(0, i%2 == 0, true)
+	}
+	for i, b := range l.Betas() {
+		if b != want[i] {
+			t.Fatalf("two-rung ladder moved: rung %d %v -> %v", i, want[i], b)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cfg := Config{Chains: 5, MaxTemp: 32, Adapt: true, Window: 8}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		l.Record(rng.Intn(4), rng.Intn(3) == 0, i < 700)
+	}
+	snap := l.Snapshot()
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Continue both with the identical attempt sequence: every beta must
+	// stay bit-identical, which is what makes kill/resume exact.
+	seqRng := rand.New(rand.NewSource(9))
+	type ev struct {
+		p   int
+		acc bool
+		ad  bool
+	}
+	var evs []ev
+	for i := 0; i < 500; i++ {
+		evs = append(evs, ev{seqRng.Intn(4), seqRng.Intn(2) == 0, i < 200})
+	}
+	for _, e := range evs {
+		l.Record(e.p, e.acc, e.ad)
+		restored.Record(e.p, e.acc, e.ad)
+	}
+	for i := range l.betas {
+		if l.betas[i] != restored.betas[i] {
+			t.Fatalf("rung %d diverged after restore: %v vs %v", i, l.betas[i], restored.betas[i])
+		}
+	}
+	for i := range l.attempts {
+		if l.attempts[i] != restored.attempts[i] || l.accepts[i] != restored.accepts[i] ||
+			l.estAttempts[i] != restored.estAttempts[i] || l.estAccepts[i] != restored.estAccepts[i] {
+			t.Fatalf("pair %d counters diverged after restore", i)
+		}
+	}
+	if l.adapts != restored.adapts {
+		t.Fatalf("adaptation clock diverged: %d vs %d", l.adapts, restored.adapts)
+	}
+}
+
+func TestRestoreRejectsMismatches(t *testing.T) {
+	mk := func(cfg Config) *Ladder {
+		l, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	base := Config{Chains: 4, MaxTemp: 8, Adapt: true, Window: 8}
+	snap := mk(base).Snapshot()
+
+	if err := mk(Config{Chains: 3, MaxTemp: 8, Adapt: true, Window: 8}).Restore(snap); err == nil {
+		t.Error("restore accepted a different rung count")
+	}
+	if err := mk(Config{Chains: 4, MaxTemp: 8, Window: 8}).Restore(snap); err == nil {
+		t.Error("restore accepted an adaptation-mode mismatch")
+	}
+	if err := mk(Config{Chains: 4, MaxTemp: 8, Adapt: true, Window: 16}).Restore(snap); err == nil {
+		t.Error("restore accepted a window-size mismatch")
+	}
+	if err := mk(base).Restore(mk(Config{Chains: 4, MaxTemp: 32, Adapt: true, Window: 8}).Snapshot()); err == nil {
+		t.Error("adaptive restore accepted a snapshot taken under a different MaxTemp")
+	}
+	if err := mk(Config{Chains: 4, MaxTemp: 8, Window: 8}).Restore(mk(Config{Chains: 4, MaxTemp: 32, Window: 8}).Snapshot()); err == nil {
+		t.Error("fixed-ladder restore accepted a snapshot taken under a different MaxTemp")
+	}
+	bad0 := mk(base).Snapshot()
+	bad0.Gaps[1] = math.NaN()
+	if err := mk(base).Restore(bad0); err == nil {
+		t.Error("restore accepted a NaN gap")
+	}
+	bad0 = mk(base).Snapshot()
+	bad0.Gaps[1] = -bad0.Gaps[1]
+	if err := mk(base).Restore(bad0); err == nil {
+		t.Error("restore accepted a negative gap")
+	}
+	if err := mk(base).Restore(nil); err == nil {
+		t.Error("restore accepted a nil snapshot")
+	}
+	bad := mk(base).Snapshot()
+	bad.Betas[0] = 0.9
+	if err := mk(base).Restore(bad); err == nil {
+		t.Error("restore accepted a cold rung with beta != 1")
+	}
+	bad = mk(base).Snapshot()
+	bad.Accepts[1] = 5 // accepts > attempts
+	if err := mk(base).Restore(bad); err == nil {
+		t.Error("restore accepted accepts > attempts")
+	}
+	bad = mk(base).Snapshot()
+	bad.Windows[0].Outcomes = []byte{2}
+	if err := mk(base).Restore(bad); err == nil {
+		t.Error("restore accepted a non-binary window outcome")
+	}
+	bad = mk(base).Snapshot()
+	bad.Windows[0].Outcomes = make([]byte, 9)
+	if err := mk(base).Restore(bad); err == nil {
+		t.Error("restore accepted an over-capacity window")
+	}
+}
+
+func TestWindowRingRoundTrip(t *testing.T) {
+	// The ring buffer's logical serialization must reproduce identical
+	// future evictions: fill past capacity, snapshot, restore, then push
+	// the same tail into both and compare rates at every step.
+	l, _ := New(Config{Chains: 2, MaxTemp: 8, Window: 4})
+	pattern := []bool{true, false, true, true, false, false, true}
+	for _, x := range pattern {
+		l.Record(0, x, false)
+	}
+	r, _ := New(Config{Chains: 2, MaxTemp: 8, Window: 4})
+	if err := r.Restore(l.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		x := i%3 == 0
+		l.Record(0, x, false)
+		r.Record(0, x, false)
+		lr, _ := l.wins[0].rate()
+		rr, _ := r.wins[0].rate()
+		if lr != rr {
+			t.Fatalf("windowed rates diverged at push %d: %v vs %v", i, lr, rr)
+		}
+	}
+}

@@ -143,8 +143,22 @@ type Config struct {
 	Workers int
 	// Proposals is the GMH proposal-set size N; default Workers.
 	Proposals int
-	// Chains is the multichain chain count; default Workers.
+	// Chains is the heated/multichain chain count; default Workers.
 	Chains int
+	// MaxTemp is the heated ladder's hottest temperature; default 8.
+	// Values below 1 are rejected.
+	MaxTemp float64
+	// SwapEvery is the number of within-chain steps between heated swap
+	// attempts; default 1. Negative values are rejected.
+	SwapEvery int
+	// AdaptLadder turns on swap-rate-driven temperature-ladder
+	// adaptation for the heated sampler: during burn-in the ladder's
+	// interior temperatures are retuned toward uniform per-pair swap
+	// acceptance, then frozen for the recorded draws.
+	AdaptLadder bool
+	// SwapWindow is the sliding-window size for per-pair swap-rate
+	// tracking; default 64. Negative values are rejected.
+	SwapWindow int
 	// Burnin draws are discarded at the start of each EM iteration;
 	// default 1000.
 	Burnin int
@@ -220,6 +234,34 @@ type GrowthResult struct {
 	Growth float64
 }
 
+// SwapReport is the heated sampler's per-pair swap-rate diagnostic:
+// entry i describes the exchanges between adjacent rungs i and i+1 of
+// the final EM iteration. A healthy ladder has roughly uniform rates
+// across pairs; a pair near zero marks a temperature gap states cannot
+// cross (the adaptive ladder's target is to flatten this profile).
+type SwapReport struct {
+	// Betas is the final β schedule, β_0 = 1 down to β_{P-1}.
+	Betas []float64
+	// Attempts and Accepts count estimation-phase (post-burn-in) swap
+	// proposals per adjacent pair: the rates of the schedule the
+	// recorded draws were sampled under, free of the burn-in transient
+	// (and, with AdaptLadder, of the still-moving ladder).
+	Attempts []int64
+	Accepts  []int64
+	// Adapted reports whether the ladder ran with adaptation on, and
+	// Adaptations how many schedule updates were applied. Adapted with
+	// zero Adaptations means adaptation never engaged: the burn-in was
+	// shorter than the warm-up (every pair's SwapWindow filling once).
+	Adapted     bool
+	Adaptations int64
+}
+
+// Rates returns the per-pair swap acceptance rates (NaN for a pair
+// never attempted).
+func (s *SwapReport) Rates() []float64 {
+	return core.PairRates(s.Accepts, s.Attempts)
+}
+
 // Result is the outcome of a full estimation run.
 type Result struct {
 	// Theta is the maximum likelihood estimate of θ.
@@ -233,6 +275,11 @@ type Result struct {
 	// Growth holds the (θ, g) estimate when Config.EstimateGrowth is
 	// set, nil otherwise.
 	Growth *GrowthResult
+	// SwapReport summarizes the heated sampler's temperature ladder over
+	// the final EM iteration: the β schedule (adapted, when AdaptLadder
+	// is on) and the per-adjacent-pair swap counts. Nil for other
+	// samplers.
+	SwapReport *SwapReport
 
 	lastSet *core.SampleSet
 	workers int
@@ -297,6 +344,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, h := range emRes.History {
 		res.History = append(res.History, EMIteration(h))
+	}
+	if run := emRes.LastRun; run != nil && len(run.PairSwapAttempts) > 0 {
+		res.SwapReport = &SwapReport{
+			Betas:       run.Betas,
+			Attempts:    run.EstPairSwapAttempts,
+			Accepts:     run.EstPairSwaps,
+			Adapted:     run.LadderAdapted,
+			Adaptations: run.LadderAdaptations,
+		}
 	}
 	if c.EstimateGrowth {
 		est, err := core.MaximizeThetaGrowth(emRes.LastSet, core.MLEConfig{}, dev)
@@ -403,7 +459,12 @@ func buildSampler(c Config, eval *felsen.Evaluator, dev *device.Device) (core.Sa
 	case SamplerMultiChain:
 		return core.NewMultiChain(eval, dev, c.Chains), nil
 	case SamplerHeated:
-		return core.NewHeated(eval, dev, c.Chains), nil
+		h := core.NewHeated(eval, dev, c.Chains)
+		h.MaxTemp = c.MaxTemp
+		h.SwapEvery = c.SwapEvery
+		h.Adapt = c.AdaptLadder
+		h.SwapWindow = c.SwapWindow
+		return h, nil
 	default:
 		return nil, fmt.Errorf("mpcgs: unknown sampler %q", c.Sampler)
 	}

@@ -1,0 +1,126 @@
+// Package analysistest runs analyzers against fixture packages and checks
+// their findings against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<import/path>/*.go. A line that must
+// be flagged carries a trailing comment
+//
+//	// want "regexp"
+//
+// with one quoted regular expression per expected finding on that line.
+// Lines without a want comment must not be flagged: every unexpected or
+// missing diagnostic fails the test. Non-flagging fixtures are therefore
+// just fixture files whose want-comment count is zero.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mpcgs/internal/analysis"
+)
+
+// wantRe extracts the quoted expectations of one want comment: either
+// double-quoted (Go-unquoted before compiling) or backquoted (literal).
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one // want entry: a pattern expected to match a
+// diagnostic at its file and line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages at the given import paths from
+// testdata/src (relative to the calling test's package directory), applies
+// the analyzers, and reports every mismatch between the diagnostics and
+// the fixtures' want comments.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	prog, err := analysis.LoadFixtures(srcRoot, paths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Roots {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") && text != "want" {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					quoted := wantRe.FindAllStringSubmatch(text, -1)
+					if len(quoted) == 0 {
+						t.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+						continue
+					}
+					for _, q := range quoted {
+						unq := q[2] // backquoted: literal
+						if q[2] == "" && strings.Contains(q[0], `"`) {
+							var err error
+							unq, err = strconv.Unquote(q[0])
+							if err != nil {
+								t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q[0], err)
+								continue
+							}
+						}
+						re, err := regexp.Compile(unq)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
+							continue
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := prog.Run(analyzers...)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		if w := match(wants, d); w != nil {
+			w.matched = true
+		} else {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// match finds an unmatched expectation for the diagnostic's position.
+func match(wants []*expectation, d analysis.Diagnostic) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Fail is a helper for analyzers under development: it formats the
+// diagnostics for inclusion in test failure output.
+func Fail(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %v\n", d)
+	}
+	return b.String()
+}

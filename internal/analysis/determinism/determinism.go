@@ -1,0 +1,363 @@
+// Package determinism enforces the engine's reproducibility contract: a
+// run is a pure function of its manifest and seeds. In the engine
+// packages it forbids the three classic ways Go code silently goes
+// nondeterministic — the globally-seeded math/rand source, seeds or
+// fingerprints derived from the wall clock, and map-iteration order
+// leaking into slices, accumulators or serialized output.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mpcgs/internal/analysis"
+)
+
+// TargetPackages is the set of packages whose determinism is a published
+// guarantee: the chain engine and everything on the kill/resume path.
+var TargetPackages = map[string]bool{
+	"mpcgs/internal/core":      true,
+	"mpcgs/internal/sched":     true,
+	"mpcgs/internal/ckpt":      true,
+	"mpcgs/internal/tempering": true,
+	"mpcgs/internal/rng":       true,
+	"mpcgs/internal/resim":     true,
+	"mpcgs/internal/felsen":    true,
+}
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid global math/rand, time-derived seeds, and map-order-dependent " +
+		"writes in the engine packages (bit-identical resume depends on all three)",
+	Run: run,
+}
+
+// globalSafe lists the math/rand package-level functions that do not draw
+// from (or reseed) the shared global source.
+var globalSafe = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// sortFuncs are the package-level sorters that discharge the map-order
+// obligation when applied to a slice collected from a map range.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true, "slices.Sort": true, "slices.SortFunc": true,
+	"slices.SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !TargetPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		dirs := analysis.FileDirectives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, n)
+			case *ast.CallExpr:
+				checkTimeSeedCall(pass, n)
+			case *ast.AssignStmt:
+				checkTimeSeedAssign(pass, n)
+			case *ast.KeyValueExpr:
+				checkTimeSeedKeyValue(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, dirs, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- global math/rand --------------------------------------------------------
+
+func checkGlobalRand(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	// Methods on a locally-constructed *rand.Rand have an explicit source;
+	// only package-level functions touch the global one.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	if globalSafe[fn.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"%s.%s draws from the globally seeded source: chains must use internal/rng streams derived from the run seed",
+		path, fn.Name())
+}
+
+// --- time-derived seeds ------------------------------------------------------
+
+// derivesFromTimeNow reports whether the expression's value flows (purely
+// syntactically) from a time.Now() call.
+func derivesFromTimeNow(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// seedSink reports whether calling fn with a value is a seeding or
+// fingerprinting operation — the sinks where wall-clock input destroys
+// reproducibility.
+func seedSink(fn *types.Func) bool {
+	name := fn.Name()
+	if name == "Seed" || name == "SeedArray" || strings.Contains(name, "Fingerprint") {
+		return true
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		path := pkg.Path()
+		if strings.HasSuffix(path, "internal/rng") {
+			return true
+		}
+		if (path == "math/rand" || path == "math/rand/v2") &&
+			(name == "New" || name == "NewSource") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkTimeSeedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	var fn *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[f].(*types.Func)
+	}
+	if fn == nil || !seedSink(fn) {
+		return
+	}
+	for _, arg := range call.Args {
+		if derivesFromTimeNow(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"seed for %s derived from time.Now: runs become unreproducible and resume fingerprints drift; thread the run's explicit seed",
+				fn.Name())
+		}
+	}
+}
+
+func checkTimeSeedAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		if !nameContainsSeed(lhs) {
+			continue
+		}
+		if derivesFromTimeNow(pass, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(),
+				"seed assigned from time.Now: runs become unreproducible; thread an explicit seed")
+		}
+	}
+}
+
+func checkTimeSeedKeyValue(pass *analysis.Pass, kv *ast.KeyValueExpr) {
+	if !nameContainsSeed(kv.Key) {
+		return
+	}
+	if derivesFromTimeNow(pass, kv.Value) {
+		pass.Reportf(kv.Value.Pos(),
+			"seed field set from time.Now: runs become unreproducible; thread an explicit seed")
+	}
+}
+
+func nameContainsSeed(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(e.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(e.Sel.Name), "seed")
+	}
+	return false
+}
+
+// --- map iteration order -----------------------------------------------------
+
+// checkMapRanges flags `for range m` over a map whose body performs
+// order-sensitive writes: appends (unless the destination is sorted later
+// in the same function), emits to writers/formatters, string
+// concatenation, or floating-point accumulation (float addition is not
+// associative, so even a pure reduction is order-dependent).
+func checkMapRanges(pass *analysis.Pass, dirs analysis.Directives, body *ast.BlockStmt) {
+	// Collect the function's statements once so the sorted-later exemption
+	// can look past each range statement.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if d, ok := dirs.At(pass.Fset, rng.Pos(), "mpcgsvet:ignore-maporder"); ok {
+			if d.Arg == "" {
+				pass.Reportf(rng.Pos(), "mpcgsvet:ignore-maporder needs a reason")
+			}
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fnBody, rng, n)
+		case *ast.CallExpr:
+			if name, emits := emitCall(pass, n); emits {
+				pass.Reportf(n.Pos(),
+					"%s inside a map range writes in iteration order: sort the keys first or annotate //mpcgsvet:ignore-maporder <reason>",
+					name)
+			}
+		case *ast.IncDecStmt:
+			// Counters are order-insensitive; nothing to do.
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	// x = append(x, ...) — ordered collection from an unordered range.
+	if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if i < len(as.Lhs) && sortedAfter(pass, fnBody, rng, as.Lhs[i]) {
+				continue
+			}
+			pass.Reportf(rhs.Pos(),
+				"append inside a map range collects keys in iteration order: sort the result before use, sort the keys first, or annotate //mpcgsvet:ignore-maporder <reason>")
+		}
+		return
+	}
+	// s += ... on strings (serialized output) and floats (non-associative
+	// accumulation) is order-dependent; integer accumulation is not.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN ||
+		as.Tok == token.MUL_ASSIGN || as.Tok == token.QUO_ASSIGN {
+		for _, lhs := range as.Lhs {
+			t := pass.TypesInfo.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			switch b := t.Underlying().(type) {
+			case *types.Basic:
+				if b.Info()&types.IsString != 0 {
+					pass.Reportf(as.Pos(),
+						"string concatenation inside a map range serializes in iteration order: sort the keys first or annotate //mpcgsvet:ignore-maporder <reason>")
+				} else if b.Info()&types.IsFloat != 0 {
+					pass.Reportf(as.Pos(),
+						"float accumulation inside a map range is order-dependent (float addition is not associative): sort the keys first or annotate //mpcgsvet:ignore-maporder <reason>")
+				}
+			}
+		}
+	}
+}
+
+// sortedAfter reports whether dst is passed to a recognized sort function
+// in a statement after the range loop — the collect-then-sort idiom that
+// restores a deterministic order.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, dst ast.Expr) bool {
+	dstObj := exprObj(pass, dst)
+	if dstObj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || call.Pos() < rng.End() {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || !sortFuncs[pkgID.Name+"."+sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprObj(pass, arg) == dstObj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprObj resolves a plain identifier to its object, the granularity at
+// which the sorted-later exemption matches collection and sort sites.
+func exprObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return pass.TypesInfo.ObjectOf(id)
+	}
+	return nil
+}
+
+// emitCall reports whether the call writes to a formatter, writer or
+// encoder — output whose order is the iteration order.
+func emitCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && strings.HasPrefix(name, "F") {
+		// Fprint/Fprintf/Fprintln write to a stream; Sprint* builds values
+		// the surrounding assignment checks catch if accumulated.
+		return "fmt." + name, true
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return name, true
+		}
+	}
+	return "", false
+}

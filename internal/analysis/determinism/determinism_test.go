@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"mpcgs/internal/analysis"
+	"mpcgs/internal/analysis/analysistest"
+	"mpcgs/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{determinism.Analyzer},
+		"mpcgs/internal/core",  // target package: patterns flag
+		"mpcgs/internal/other", // non-target package: same patterns pass
+	)
+}

@@ -1,0 +1,120 @@
+// Package core is a determinism-analyzer fixture standing in for the
+// engine: it lives at a target import path, so every pattern here is
+// checked. Lines with want comments must flag; the rest must not.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Config mimics a run manifest with an explicit seed field.
+type Config struct {
+	Seed int64
+}
+
+func globalRand() int {
+	return rand.Int() // want `rand.Int draws from the globally seeded source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the globally seeded source`
+}
+
+func localRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Int()
+}
+
+func timeSeededSource() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seed for New derived from time.Now` `seed for NewSource derived from time.Now`
+}
+
+func timeSeedAssign() int64 {
+	seed := time.Now().UnixNano() // want `seed assigned from time.Now`
+	return seed
+}
+
+func timeSeedField() Config {
+	return Config{Seed: time.Now().UnixNano()} // want `seed field set from time.Now`
+}
+
+func explicitSeed(seed int64) Config {
+	return Config{Seed: seed}
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside a map range collects keys in iteration order`
+	}
+	return keys
+}
+
+func mapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapEmit(m map[string]int, w *os.File) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside a map range writes in iteration order`
+	}
+}
+
+func mapConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation inside a map range serializes in iteration order`
+	}
+	return s
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation inside a map range is order-dependent`
+	}
+	return sum
+}
+
+func mapIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation is order-insensitive
+	}
+	return n
+}
+
+func mapCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func mapIgnored(m map[string]int) []string {
+	var keys []string
+	//mpcgsvet:ignore-maporder ordering only affects log readability here
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapIgnoredNoReason(m map[string]int) []string {
+	var keys []string
+	//mpcgsvet:ignore-maporder
+	for k := range m { // want `ignore-maporder needs a reason`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,25 @@
+// Package other is the determinism analyzer's non-flagging fixture: its
+// import path is outside the target set, so the same patterns that flag
+// in the engine packages must pass untouched here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Int()
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,16 @@
+package exactfloat_test
+
+import (
+	"testing"
+
+	"mpcgs/internal/analysis"
+	"mpcgs/internal/analysis/analysistest"
+	"mpcgs/internal/analysis/exactfloat"
+)
+
+func TestExactFloat(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{exactfloat.Analyzer},
+		"effix/internal/ckpt", // target: wire rules apply
+		"effix/other",         // outside the checkpoint package: exempt
+	)
+}

@@ -1,0 +1,52 @@
+// Package ckpt is the exactfloat analyzer fixture: wire structs, fmt
+// formatting and strconv float rendering in and out of compliance.
+package ckpt
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Chain mimics a wire struct: json tags make every exported field part of
+// the marshaled output.
+type Chain struct {
+	Beta    string    `json:"beta"`   // hex float: exact
+	LogLik  float64   `json:"loglik"` // want `raw float field in marshaled struct Chain`
+	Ages    []float64 `json:"ages"`   // want `raw float field in marshaled struct Chain`
+	Steps   int       `json:"steps"`
+	scratch float64   // unexported: never marshaled
+	Skip    float64   `json:"-"` // explicitly excluded from the wire
+}
+
+// runtimeState has no json tags anywhere: an in-memory struct, floats are
+// fine.
+type runtimeState struct {
+	Acc float64
+	Cur float64
+}
+
+func hexFloat(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+func describeLossy(f float64) string {
+	return fmt.Sprintf("%v", f) // want `float formatted through fmt.Sprintf`
+}
+
+func describeExact(f float64) string {
+	return "beta=" + hexFloat(f)
+}
+
+func formatLossy(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64) // want `strconv.FormatFloat with verb 'g'`
+}
+
+func appendLossy(dst []byte, f float64) []byte {
+	return strconv.AppendFloat(dst, f, 'f', 6, 64) // want `strconv.AppendFloat with verb 'f'`
+}
+
+func appendExact(dst []byte, f float64) []byte {
+	return strconv.AppendFloat(dst, f, 'x', -1, 64)
+}
+
+func reportSteps(n int) string {
+	return fmt.Sprintf("%d steps", n) // ints are exact: fine
+}

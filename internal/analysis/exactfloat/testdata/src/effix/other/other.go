@@ -1,0 +1,13 @@
+// Package other is the exactfloat analyzer's package-gating fixture: the
+// same patterns that flag in internal/ckpt pass outside it.
+package other
+
+import "fmt"
+
+type Sample struct {
+	Value float64 `json:"value"`
+}
+
+func describe(f float64) string {
+	return fmt.Sprintf("%v", f)
+}

@@ -1,0 +1,342 @@
+// Package hotpath enforces the engine's allocation-free hot-path
+// contract: a function annotated //mpcgs:hotpath (the per-step chain
+// engine, the delta-evaluation kernels, the resimulation draw, the device
+// pool's chunk claiming) must not contain allocating constructs, and
+// neither may the same-module functions it calls, followed one level
+// deep.
+//
+// Flagged constructs: make and new, composite literals that escape
+// (slice and map literals, and &T{...}), closures, fmt.* calls, string
+// concatenation, and implicit boxing of non-pointer-shaped values into
+// interfaces. Plain value composite literals stay on the stack and pass;
+// so do appends (the engine's hot appends write into preallocated
+// arenas, and capacity growth is an amortized cost the benchmarks
+// guard).
+//
+// Cold sub-paths are exempt by construction rather than by annotation:
+// anything inside a `return ...err` that yields a non-nil error, or
+// inside the arguments of panic, has already left the hot path. A defer
+// of a function literal is also exempt (open-coded defers do not heap-
+// allocate), though the literal's body is still scanned. Residual
+// deliberate allocations — grow-on-demand scratch, a per-launch task
+// header amortized over a whole grid — carry //mpcgsvet:ignore-alloc
+// <reason> on the construct's line, so any new allocation still flags.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mpcgs/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //mpcgs:hotpath must not allocate, " +
+		"following same-module callees one level deep",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		dirs := analysis.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasHotpathDoc(fd) {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, info: pass.TypesInfo}
+			c.scan(fd.Body, fd.Type, true)
+		}
+	}
+	return nil
+}
+
+// checker scans one function body. For the directly annotated function,
+// followCalls is set and same-module callees are scanned one level deep
+// (with their own checker, reporting at the call site).
+type checker struct {
+	pass *analysis.Pass
+	dirs analysis.Directives
+	// info is the type info of the package owning the scanned body — the
+	// analyzed package for direct scans, the callee's for one-deep scans.
+	info *types.Info
+
+	// callSite, when non-zero, redirects reports: findings inside a
+	// followed callee are attributed to the call expression in the
+	// annotated function. callerDirs are the calling file's directives, so
+	// an ignore-alloc on the call line suppresses the whole callee.
+	callSite   token.Pos
+	callee     string
+	callerDirs analysis.Directives
+
+	// found collects whether anything was reported, so one-deep scans can
+	// stop after the first finding per call site.
+	found bool
+}
+
+// report emits one finding, honoring ignore-alloc on the construct's line
+// and, for followed callees, on the call-site line.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if d, ok := c.dirs.At(c.pass.Fset, pos, "mpcgsvet:ignore-alloc"); ok {
+		if d.Arg == "" {
+			c.pass.Reportf(pos, "mpcgsvet:ignore-alloc needs a reason")
+		}
+		return
+	}
+	if c.callSite != token.NoPos {
+		if d, ok := c.callerDirs.At(c.pass.Fset, c.callSite, "mpcgsvet:ignore-alloc"); ok {
+			if d.Arg == "" {
+				c.pass.Reportf(c.callSite, "mpcgsvet:ignore-alloc needs a reason")
+			}
+			return
+		}
+	}
+	if c.callSite != token.NoPos {
+		where := c.pass.Fset.Position(pos)
+		msg := "calls " + c.callee + " which allocates on the hot path: " +
+			format + " (at " + where.String() + ")"
+		c.pass.Reportf(c.callSite, msg, args...)
+	} else {
+		c.pass.Reportf(pos, format, args...)
+	}
+	c.found = true
+}
+
+// scan walks a function body flagging allocating constructs. ftype is the
+// scanned function's own type (for the cold-error-return exemption).
+func (c *checker) scan(body *ast.BlockStmt, ftype *ast.FuncType, followCalls bool) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if c.found && c.callSite != token.NoPos {
+			return false // one finding per followed call site is enough
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if c.coldErrorReturn(n, ftype) {
+				return false
+			}
+		case *ast.CallExpr:
+			if isPanic(c.info, n) {
+				return false // panic construction is cold by definition
+			}
+			c.checkCall(n, followCalls)
+		case *ast.DeferStmt:
+			// defer func(){...}() is open-coded and does not allocate; the
+			// deferred body still runs per call, so keep scanning inside it.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, walk)
+				return false
+			}
+		case *ast.FuncLit:
+			c.report(n.Pos(), "closure allocates per construction; hoist it or pass state explicitly")
+			return false
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&%s{...} escapes to the heap; reuse a preallocated value", typeLabel(c.info, lit))
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.info, n) {
+				c.report(n.Pos(), "string concatenation allocates; preformat outside the hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(c.info, n.Lhs[0]) {
+				c.report(n.Pos(), "string concatenation allocates; preformat outside the hot path")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// checkCall flags make/new, fmt.* calls, interface boxing of arguments,
+// and (when following) allocations inside same-module callees.
+func (c *checker) checkCall(call *ast.CallExpr, followCalls bool) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.report(call.Pos(), "make allocates; reuse a preallocated buffer")
+			case "new":
+				c.report(call.Pos(), "new allocates; reuse a preallocated value")
+			}
+			return
+		}
+	}
+
+	// Conversions, including explicit boxing into an interface type.
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(c.info, call.Args[0]) {
+			c.report(call.Pos(), "conversion to %s boxes its operand on the heap", tv.Type.String())
+		}
+		return
+	}
+
+	fn := calleeFunc(c.info, call)
+
+	// fmt is banned outright on hot paths: every call formats through
+	// reflection and allocates.
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.report(call.Pos(), "fmt.%s formats through reflection and allocates", fn.Name())
+		return
+	}
+
+	// Implicit interface boxing of arguments.
+	if fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil {
+			c.checkBoxing(call, sig)
+		}
+	}
+
+	// Same-module callees, one level deep.
+	if followCalls && fn != nil {
+		src := c.pass.FuncSource(fn)
+		if src == nil || src.Decl.Body == nil {
+			return // outside the module (or bodyless): not ours to follow
+		}
+		if analysis.HasHotpathDoc(src.Decl) {
+			return // annotated callees are checked directly
+		}
+		callee := &checker{
+			pass:       c.pass,
+			dirs:       analysis.FileDirectives(c.pass.Fset, src.File),
+			info:       src.Info,
+			callSite:   call.Pos(),
+			callee:     fn.FullName(),
+			callerDirs: c.dirs,
+		}
+		callee.scan(src.Decl.Body, src.Decl.Type, false)
+	}
+}
+
+// checkBoxing flags arguments whose concrete, non-pointer-shaped values
+// are passed into interface parameters — each such call boxes the value
+// on the heap. Pointer-shaped values (pointers, maps, channels, funcs)
+// and interface-to-interface assignments do not allocate.
+func (c *checker) checkBoxing(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxes(c.info, arg) {
+			c.report(arg.Pos(), "passing %s into interface parameter boxes it on the heap",
+				c.info.TypeOf(arg).String())
+		}
+	}
+}
+
+// coldErrorReturn reports whether the return statement yields a non-nil
+// error as the function's final result: the canonical cold exit.
+func (c *checker) coldErrorReturn(ret *ast.ReturnStmt, ftype *ast.FuncType) bool {
+	if ftype.Results == nil || len(ret.Results) == 0 {
+		return false
+	}
+	lastType := c.info.TypeOf(ftype.Results.List[len(ftype.Results.List)-1].Type)
+	if lastType == nil || !types.Identical(lastType, errorType) {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// boxes reports whether boxing the expression into an interface
+// heap-allocates: its type is concrete and not pointer-shaped.
+func boxes(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Kind() == types.Invalid) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// checkComposite flags composite literals whose backing store is always
+// heap-allocated: slice and map literals. Value struct and array literals
+// stay on the stack unless their address escapes, which the &T{} case
+// catches separately.
+func (c *checker) checkComposite(lit *ast.CompositeLit) {
+	t := c.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates its backing array; reuse a preallocated slice")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates; hoist it out of the hot path")
+	}
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	if t := info.TypeOf(lit); t != nil {
+		return t.String()
+	}
+	return "T"
+}

@@ -1,0 +1,14 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"mpcgs/internal/analysis"
+	"mpcgs/internal/analysis/analysistest"
+	"mpcgs/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer},
+		"hotfix/a")
+}

@@ -1,0 +1,130 @@
+// Package a is the hotpath analyzer fixture: annotated functions whose
+// bodies exercise every flagged construct, every exemption, and the
+// one-level-deep callee scan (including into package hotfix/b).
+package a
+
+import (
+	"fmt"
+
+	"hotfix/b"
+)
+
+type sink struct{ buf []float64 }
+
+type task struct{ n int }
+
+//mpcgs:hotpath
+func Bad(s *sink, n int) {
+	buf := make([]float64, n) // want `make allocates`
+	_ = buf
+	t := new(task) // want `new allocates`
+	_ = t
+	p := &task{n: n} // want `escapes to the heap`
+	_ = p
+	xs := []int{1, 2, 3} // want `slice literal allocates its backing array`
+	_ = xs
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	f := func() {} // want `closure allocates per construction`
+	f()
+	_ = fmt.Sprintf("%d", n) // want `fmt.Sprintf formats through reflection`
+	msg := "n=" + itoa(n)    // want `string concatenation allocates`
+	_ = msg
+}
+
+func consume(v interface{}) {}
+
+func itoa(n int) string { return "0" }
+
+//mpcgs:hotpath
+func Boxes(n int, t *task, s string) {
+	consume(n) // want `boxes it on the heap`
+	consume(t) // pointers are pointer-shaped: no boxing allocation
+	_ = any(t)
+	_ = any(n) // want `boxes its operand on the heap`
+}
+
+// NotAnnotated allocates freely: without the //mpcgs:hotpath doc
+// annotation nothing here is checked.
+func NotAnnotated(n int) []float64 {
+	return make([]float64, n)
+}
+
+//mpcgs:hotpath
+func Good(s *sink, xs []float64) (float64, error) {
+	v := task{n: 1} // value composite literal stays on the stack
+	_ = v
+	s.buf = append(s.buf, xs...)
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("empty input") // cold: non-nil error return
+	}
+	defer func() { _ = recover() }() // directly-deferred literal: open-coded
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total, nil
+}
+
+//mpcgs:hotpath
+func Guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n)) // cold: panic argument
+	}
+}
+
+//mpcgs:hotpath
+func Grow(s *sink, n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) //mpcgsvet:ignore-alloc grow-once scratch, amortized over the run
+	}
+	s.buf = s.buf[:n]
+}
+
+//mpcgs:hotpath
+func GrowNoReason(s *sink, n int) {
+	if cap(s.buf) < n {
+		//mpcgsvet:ignore-alloc
+		s.buf = make([]float64, n) // want `ignore-alloc needs a reason`
+	}
+	s.buf = s.buf[:n]
+}
+
+//mpcgs:hotpath
+func CallsHelper(s *sink, n int) {
+	fill(s, n) // want `calls hotfix/a.fill which allocates on the hot path: make allocates`
+}
+
+func fill(s *sink, n int) {
+	s.buf = make([]float64, n)
+}
+
+//mpcgs:hotpath
+func CallsHelperIgnored(s *sink, n int) {
+	fill(s, n) //mpcgsvet:ignore-alloc reached once per run during warm-up
+}
+
+//mpcgs:hotpath
+func CallsCross(buf *b.Buf, n int) {
+	buf.Fill(n) // want `calls \(\*hotfix/b\.Buf\)\.Fill which allocates on the hot path: make allocates`
+	buf.Reset()
+}
+
+//mpcgs:hotpath
+func DepthTwo(s *sink, n int) {
+	indirect(s, n) // two levels deep: beyond the scan horizon, not flagged
+}
+
+func indirect(s *sink, n int) {
+	fill(s, n)
+}
+
+//mpcgs:hotpath
+func Outer(s *sink, xs []float64) {
+	Inner(s, xs) // annotated callee: checked directly, not at the call site
+}
+
+//mpcgs:hotpath
+func Inner(s *sink, xs []float64) {
+	s.buf = append(s.buf[:0], xs...)
+}

@@ -1,0 +1,16 @@
+// Package b is the hotpath fixture's cross-package dependency: its
+// methods are followed one level deep from annotated callers in hotfix/a.
+package b
+
+// Buf is a reusable buffer with an allocating and a non-allocating method.
+type Buf struct{ xs []int }
+
+// Fill allocates; annotated callers must be flagged at their call sites.
+func (b *Buf) Fill(n int) {
+	b.xs = make([]int, n)
+}
+
+// Reset is allocation-free; calls to it must pass.
+func (b *Buf) Reset() {
+	b.xs = b.xs[:0]
+}

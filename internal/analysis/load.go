@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Program is one loaded analysis universe: the packages matched by the
+// load patterns (Roots) plus every module dependency, all type-checked
+// from source so analyzers can follow call edges into function bodies.
+// Standard-library dependencies are imported from compiler export data
+// (via `go list -export`), which carries types but no bodies — the
+// boundary of the "same module, one level deep" rules.
+type Program struct {
+	Fset  *token.FileSet
+	Roots []*Package
+
+	pkgs  map[string]*Package
+	funcs map[*types.Func]*FuncSource
+}
+
+// Package is one source-loaded, type-checked package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FuncSource implements Pass.FuncSource over every source-loaded package.
+func (prog *Program) FuncSource(fn *types.Func) *FuncSource {
+	return prog.funcs[fn]
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+const listFields = "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error"
+
+// goList runs `go list` in dir and decodes the JSON package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads the packages matched by patterns (relative to dir)
+// plus their full dependency closure: module packages are parsed and
+// type-checked from source, standard-library packages are imported from
+// export data produced by `go list -export`.
+func LoadPackages(dir string, patterns []string) (*Program, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", listFields}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader()
+	var rootPaths []string
+	for _, p := range listed {
+		if p.Error != nil && !p.Standard {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		switch {
+		case p.Standard:
+			if p.Export != "" {
+				ld.exports[p.ImportPath] = p.Export
+			}
+		default:
+			ld.src[p.ImportPath] = srcPackage{dir: p.Dir, files: p.GoFiles}
+			if !p.DepOnly {
+				rootPaths = append(rootPaths, p.ImportPath)
+			}
+		}
+	}
+	sort.Strings(rootPaths)
+	return ld.program(rootPaths)
+}
+
+// LoadFixtures loads analyzer test fixtures: packages whose import paths
+// resolve to directories under srcRoot (GOPATH-style, srcRoot/<path>/*.go),
+// with standard-library imports satisfied from export data. Fixture
+// packages may import each other; every fixture package reachable from
+// paths is source-loaded, so cross-package rules (hot-path callee
+// following, serial-oracle gating) behave exactly as on the real tree.
+func LoadFixtures(srcRoot string, paths []string) (*Program, error) {
+	ld := newLoader()
+
+	// Discover the fixture package set and the external imports it needs.
+	extern := map[string]bool{}
+	var discover func(path string) error
+	discover = func(path string) error {
+		if _, done := ld.src[path]; done {
+			return nil
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %s: %w", path, err)
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, e.Name())
+			}
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("fixture package %s: no .go files in %s", path, dir)
+		}
+		ld.src[path] = srcPackage{dir: dir, files: files}
+		// Peek at the imports to classify them.
+		fset := token.NewFileSet()
+		for _, f := range files {
+			af, err := parser.ParseFile(fset, filepath.Join(dir, f), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range af.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if st, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(p))); err == nil && st.IsDir() {
+					if err := discover(p); err != nil {
+						return err
+					}
+				} else {
+					extern[p] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := discover(p); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(extern) > 0 {
+		args := append([]string{"list", "-e", "-export", "-deps", listFields}, sortedKeys(extern)...)
+		listed, err := goList(srcRoot, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Standard && p.Export != "" {
+				ld.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return ld.program(paths)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- the importer-driven loader ---------------------------------------------
+
+type srcPackage struct {
+	dir   string
+	files []string
+}
+
+type loader struct {
+	fset    *token.FileSet
+	gc      types.ImporterFrom
+	src     map[string]srcPackage
+	exports map[string]string
+	loaded  map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader() *loader {
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		src:     map[string]srcPackage{},
+		exports: map[string]string{},
+		loaded:  map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	gc := importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	ld.gc = gc.(types.ImporterFrom)
+	return ld
+}
+
+// Import implements types.Importer: source packages are parsed and
+// type-checked recursively, everything else resolves from export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.loaded[path]; ok {
+		return p.Types, nil
+	}
+	if sp, ok := ld.src[path]; ok {
+		if ld.loading[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		ld.loading[path] = true
+		defer delete(ld.loading, path)
+		pkg, err := ld.check(path, sp)
+		if err != nil {
+			return nil, err
+		}
+		ld.loaded[path] = pkg
+		return pkg.Types, nil
+	}
+	return ld.gc.ImportFrom(path, "", 0)
+}
+
+func (ld *loader) check(path string, sp srcPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range sp.files {
+		af, err := parser.ParseFile(ld.fset, filepath.Join(sp.dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: ld,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// program loads every root and assembles the cross-package function index.
+func (ld *loader) program(rootPaths []string) (*Program, error) {
+	prog := &Program{
+		Fset:  ld.fset,
+		pkgs:  map[string]*Package{},
+		funcs: map[*types.Func]*FuncSource{},
+	}
+	for _, path := range rootPaths {
+		if _, err := ld.Import(path); err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+	}
+	prog.pkgs = ld.loaded
+	for _, path := range rootPaths {
+		prog.Roots = append(prog.Roots, ld.loaded[path])
+	}
+	for _, pkg := range ld.loaded {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					prog.funcs[fn] = &FuncSource{Decl: fd, Info: pkg.Info, File: file}
+				}
+			}
+		}
+	}
+	return prog, nil
+}

@@ -1,0 +1,16 @@
+package serialeval_test
+
+import (
+	"testing"
+
+	"mpcgs/internal/analysis"
+	"mpcgs/internal/analysis/analysistest"
+	"mpcgs/internal/analysis/serialeval"
+)
+
+func TestSerialEval(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{serialeval.Analyzer},
+		"mpcgs/internal/felsen", // the oracle's own package: exempt
+		"serfix/engine",         // consumers: gated
+	)
+}

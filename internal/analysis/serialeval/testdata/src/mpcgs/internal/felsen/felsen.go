@@ -1,0 +1,20 @@
+// Package felsen is the serialeval fixture's stand-in oracle package:
+// inside it the serial evaluation is used freely (non-flagging fixture).
+package felsen
+
+// Tree is a minimal genealogy stand-in.
+type Tree struct{ N int }
+
+// Evaluator is a minimal likelihood evaluator stand-in.
+type Evaluator struct{ Sites int }
+
+// LogLikelihoodSerial is the fenced full-tree oracle evaluation.
+func (e *Evaluator) LogLikelihoodSerial(t *Tree) float64 {
+	return float64(e.Sites * t.N)
+}
+
+// Rebase is the delta path's full recompute; it may call the oracle
+// because this is the oracle's home package.
+func (e *Evaluator) Rebase(t *Tree) float64 {
+	return e.LogLikelihoodSerial(t)
+}

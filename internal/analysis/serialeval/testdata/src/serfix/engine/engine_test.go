@@ -1,0 +1,9 @@
+package engine
+
+import "mpcgs/internal/felsen"
+
+// oracleCheck lives in a _test.go file, so the analyzer skips it even
+// though the call is unguarded.
+func oracleCheck(c *chain, t *felsen.Tree) float64 {
+	return c.eval.LogLikelihoodSerial(t)
+}

@@ -120,6 +120,8 @@ func newChainLadder(eval *felsen.Evaluator, init *gtree.Tree, serial bool, p int
 // candidate's data log-likelihood. The proposal stays pending until accept
 // or reject resolves it. On a resimulation error nothing is pending and
 // the chain state is unchanged.
+//
+//mpcgs:hotpath
 func (s *chainState) propose(theta float64, src rng.Source) error {
 	target := resim.PickTarget(s.cur, src)
 	s.prop.CopyFrom(s.cur)
@@ -144,6 +146,8 @@ func (s *chainState) logAcceptRatio() float64 {
 }
 
 // accept resolves the pending proposal as the new current state.
+//
+//mpcgs:hotpath
 func (s *chainState) accept() {
 	if s.pending {
 		s.staged.Commit()
@@ -156,6 +160,8 @@ func (s *chainState) accept() {
 }
 
 // reject drops the pending proposal; the cache is untouched.
+//
+//mpcgs:hotpath
 func (s *chainState) reject() {
 	if s.pending {
 		s.staged.Discard()
@@ -167,6 +173,8 @@ func (s *chainState) reject() {
 // draw the accept decision against the tempered likelihood ratio, resolve.
 // A resimulation failure counts as a rejection-with-error; the caller
 // decides whether that is fatal (MH) or a skipped move (ladder rungs).
+//
+//mpcgs:hotpath
 func (s *chainState) step(theta float64, src rng.Source) (bool, error) {
 	if err := s.propose(theta, src); err != nil {
 		return false, err

@@ -196,6 +196,8 @@ func (g *GMH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 }
 
 // Step implements Stepper: one full proposal round.
+//
+//mpcgs:hotpath
 func (r *gmhRun) Step() error {
 	// Auxiliary variable φ: the shared resimulation target, making
 	// every member of the set able to propose the rest (§4.3).

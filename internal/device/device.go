@@ -236,6 +236,8 @@ func (t *task) run() { t.runChunks(math.MaxInt) }
 
 // runChunks claims and executes up to max chunks, stopping early once the
 // grid is exhausted.
+//
+//mpcgs:hotpath
 func (t *task) runChunks(max int) {
 	for c := 0; c < max; c++ {
 		lo := int(t.next.Add(int64(t.chunk))) - t.chunk
@@ -255,7 +257,7 @@ func (t *task) runChunks(max int) {
 func (t *task) exec(lo, hi int) {
 	defer func() {
 		if r := recover(); r != nil {
-			t.panicOnce.Do(func() { t.panicVal.Store(r) })
+			t.panicOnce.Do(func() { t.panicVal.Store(r) }) //mpcgsvet:ignore-alloc panic capture path, already cold
 		}
 		if t.done.Add(int64(hi-lo)) == int64(t.n) {
 			close(t.finished)
@@ -293,6 +295,7 @@ func (d *Device) Launch(n int, kernel func(tid int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	//mpcgsvet:ignore-alloc one task header and channel per launch, amortized over the whole grid
 	t := &task{kernel: kernel, n: n, chunk: chunk, finished: make(chan struct{})}
 	d.pool.submit(t)
 	t.run()

@@ -1,0 +1,47 @@
+package device
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcgs/internal/leakcheck"
+)
+
+// TestDeviceCloseStopsWorkerGoroutines: the persistent workers a device
+// starts on first launch must all exit once Close is called.
+func TestDeviceCloseStopsWorkerGoroutines(t *testing.T) {
+	base := leakcheck.Snapshot()
+	d := New(4)
+	var sink [128]int
+	d.Launch(len(sink), func(tid int) { sink[tid] = tid })
+	d.Close()
+	leakcheck.Verify(t, base)
+}
+
+// TestPoolCloseStopsWorkerGoroutines: a multi-tenant pool driven by
+// several tenants shares one set of workers; Pool.Close must stop them
+// all even with tenant views still reachable.
+func TestPoolCloseStopsWorkerGoroutines(t *testing.T) {
+	base := leakcheck.Snapshot()
+	p := NewPool(4)
+	var sink [256]int
+	for i := 0; i < 3; i++ {
+		ten, err := p.Tenant(fmt.Sprintf("tenant%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten.Launch(len(sink), func(tid int) { sink[tid] = tid })
+	}
+	p.Close()
+	leakcheck.Verify(t, base)
+}
+
+// TestCloseWithoutLaunchLeaksNothing: a device that never launched has
+// lazily-started workers, i.e. none; Close must still be safe and leave
+// the goroutine count untouched.
+func TestCloseWithoutLaunchLeaksNothing(t *testing.T) {
+	base := leakcheck.Snapshot()
+	d := New(8)
+	d.Close()
+	leakcheck.Verify(t, base)
+}

@@ -196,6 +196,8 @@ type DeltaEval struct {
 // kernel stages its whole set in parallel. Commit, like RebaseTo, must be
 // exclusive: resolve every staged evaluation before the next round reads
 // the cache.
+//
+//mpcgs:hotpath
 func (e *Evaluator) StageDelta(c *DeltaCache, t *gtree.Tree) DeltaEval {
 	if !c.valid {
 		panic("felsen: StageDelta on cache with no base; call Rebase first")
@@ -218,6 +220,8 @@ func (d *DeltaEval) LogLik() float64 { return d.logLik }
 // costing one row copy per recomputed node instead of a re-evaluation
 // (RebaseTo's price). The evaluated tree must not have been mutated since
 // StageDelta.
+//
+//mpcgs:hotpath
 func (d *DeltaEval) Commit() {
 	ds := d.ds
 	if ds == nil {
@@ -237,6 +241,8 @@ func (d *DeltaEval) Commit() {
 // Discard releases the staged evaluation without touching the cache: the
 // reject path of a chain step. Rejection costs nothing — the cache never
 // saw the proposal.
+//
+//mpcgs:hotpath
 func (d *DeltaEval) Discard() {
 	if d.ds != nil {
 		d.e.deltaPool.Put(d.ds)
@@ -310,7 +316,7 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 	nPat := e.nPatterns
 	if !writeBack {
 		if need := len(ds.order) * nPat; cap(ds.cells) < need {
-			ds.cells = make([]cell, need)
+			ds.cells = make([]cell, need) //mpcgsvet:ignore-alloc cap-guarded pooled-scratch growth, amortized across proposals
 		} else {
 			ds.cells = ds.cells[:need]
 		}
@@ -318,25 +324,10 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 			ds.pos[node] = k
 		}
 	}
-	// row returns a node's conditional cells for all patterns: the shared
-	// tip table for tips, the scratch rows for already-recomputed dirty
-	// nodes (write-through evaluations keep those in the cache itself),
-	// and the cache for clean interior nodes.
-	row := func(node int) []cell {
-		switch {
-		case node < nTips:
-			return e.tipCell[node*nPat : (node+1)*nPat]
-		case ds.dirty[node] && !writeBack:
-			k := ds.pos[node]
-			return ds.cells[k*nPat : (k+1)*nPat]
-		default:
-			return c.cells[(node-nTips)*nPat : (node-nTips+1)*nPat]
-		}
-	}
 	for k, node := range ds.order {
 		nd := &t.Nodes[node]
 		c0, c1 := nd.Child[0], nd.Child[1]
-		lrow, rrow := row(c0), row(c1)
+		lrow, rrow := e.nodeRow(c, ds, writeBack, nTips, c0), e.nodeRow(c, ds, writeBack, nTips, c1)
 		var out []cell
 		if writeBack {
 			out = c.cells[(node-nTips)*nPat : (node-nTips+1)*nPat]
@@ -370,7 +361,7 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 	// Root contraction with the prior frequencies (Eq. 21), per pattern.
 	// The root is always dirty here: diffDirty marks every changed node's
 	// full ancestor path.
-	rootRow := row(t.Root)
+	rootRow := e.nodeRow(c, ds, writeBack, nTips, t.Root)
 	total := 0.0
 	for pat := 0; pat < nPat; pat++ {
 		rc := &rootRow[pat]
@@ -382,4 +373,23 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 		total += e.patCount[pat] * (math.Log(siteL) + rc.s)
 	}
 	return total
+}
+
+// nodeRow returns a node's conditional cells for all patterns: the shared
+// tip table for tips, the scratch rows for already-recomputed dirty nodes
+// (write-through evaluations keep those in the cache itself), and the
+// cache for clean interior nodes. A method rather than a closure inside
+// evalDelta: the closure captured five locals and allocated on every
+// staged evaluation.
+func (e *Evaluator) nodeRow(c *DeltaCache, ds *deltaScratch, writeBack bool, nTips, node int) []cell {
+	nPat := e.nPatterns
+	switch {
+	case node < nTips:
+		return e.tipCell[node*nPat : (node+1)*nPat]
+	case ds.dirty[node] && !writeBack:
+		k := ds.pos[node]
+		return ds.cells[k*nPat : (k+1)*nPat]
+	default:
+		return c.cells[(node-nTips)*nPat : (node-nTips+1)*nPat]
+	}
 }

@@ -1,0 +1,52 @@
+// Package leakcheck asserts that a test leaves no goroutines behind: the
+// device pool's persistent workers and the batch scheduler's drivers both
+// promise to exit on Close/cancellation, and a leaked worker would pin
+// its chain state (and its CPU) for the life of the process.
+//
+// Usage:
+//
+//	base := leakcheck.Snapshot()
+//	// ... start and stop the machinery under test ...
+//	leakcheck.Verify(t, base)
+//
+// Verify polls rather than asserting immediately, because goroutine exit
+// is asynchronous with Close returning: a worker that has observed the
+// close but not yet returned is not a leak.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// timeout bounds how long Verify waits for goroutine counts to settle.
+const timeout = 10 * time.Second
+
+// Snapshot returns the current goroutine count, taken before the test
+// starts whatever it intends to tear down.
+func Snapshot() int {
+	return runtime.NumGoroutine()
+}
+
+// Verify polls until the goroutine count returns to the base snapshot,
+// failing the test with a full stack dump if it does not settle within
+// the timeout.
+func Verify(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak: %d goroutines still running, started with %d; stacks:\n%s", n, base, buf)
+}

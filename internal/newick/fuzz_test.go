@@ -1,0 +1,42 @@
+package newick
+
+import "testing"
+
+// FuzzNewickRoundTrip checks the parser/renderer fixed point: any input
+// the parser accepts must render to a string that re-parses, and that
+// rendering must be stable (render → parse → render is the identity).
+// Checkpoints carry genealogies as newick strings, so a tree that renders
+// unreadably would break resume.
+func FuzzNewickRoundTrip(f *testing.F) {
+	seeds := []string{
+		"((1:0.1,2:0.1):0.2,3:0.3);",
+		"(a,b)r;",
+		"leaf;",
+		"('a b':1,'c''d':2)e;",
+		"('a\nb':1,c:2);",
+		"(((x:1e-9,y:2.5e3):0,z:-1):42);",
+		"(a:1,(b:2,c:3):0.5);",
+		"('(:;,)':1,t:2);",
+		"(#4:0.25,'#5':0.75)#6;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		root, err := Parse(in)
+		if err != nil {
+			return // rejected inputs are out of scope; only no-panic matters
+		}
+		s1 := root.String()
+		root2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("rendering of a parsed tree does not re-parse: %v\ninput:  %q\nrender: %q", err, in, s1)
+		}
+		if s2 := root2.String(); s2 != s1 {
+			t.Fatalf("render/parse/render is not a fixed point:\nfirst:  %q\nsecond: %q\ninput:  %q", s1, s2, in)
+		}
+		if got, want := len(root2.Leaves(nil)), len(root.Leaves(nil)); got != want {
+			t.Fatalf("round trip changed the leaf count from %d to %d for input %q", want, got, in)
+		}
+	})
+}

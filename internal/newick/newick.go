@@ -85,7 +85,7 @@ func escapeName(name string) string {
 	if name == "" {
 		return ""
 	}
-	if strings.ContainsAny(name, "():;, \t'[]") {
+	if strings.ContainsAny(name, "():;, \t\r\n'[]") {
 		return "'" + strings.ReplaceAll(name, "'", "''") + "'"
 	}
 	return name

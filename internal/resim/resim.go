@@ -125,6 +125,8 @@ func Resimulate(t *gtree.Tree, target int, theta float64, src rng.Source) error 
 // node slots of the target and its parent (younger event in the target's
 // slot), so node indices remain stable identities across proposals. A nil
 // scratch allocates a fresh one.
+//
+//mpcgs:hotpath
 func ResimulateScratch(t *gtree.Tree, target int, theta float64, src rng.Source, s *Scratch) error {
 	if theta <= 0 {
 		return fmt.Errorf("resim: theta %v must be positive", theta)
@@ -139,7 +141,7 @@ func ResimulateScratch(t *gtree.Tree, target int, theta float64, src rng.Source,
 		return fmt.Errorf("resim: target %d is the root", target)
 	}
 	if s == nil {
-		s = NewScratch()
+		s = NewScratch() //mpcgsvet:ignore-alloc nil-scratch fallback for legacy callers; hot callers pass a warm Scratch
 	}
 
 	parent := t.Nodes[target].Parent
@@ -256,7 +258,7 @@ func (r *region) build(t *gtree.Tree, target, parent, ancestor int, children [3]
 	// of O(n·m) per draw, the dominant region-analysis cost on big trees).
 	m := len(r.bounds) - 1
 	if cap(r.kin) < m {
-		r.kin = make([]int, m)
+		r.kin = make([]int, m) //mpcgsvet:ignore-alloc cap-guarded scratch growth, amortized over the run
 	} else {
 		r.kin = r.kin[:m]
 	}

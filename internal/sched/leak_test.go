@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mpcgs/internal/device"
+	"mpcgs/internal/leakcheck"
+)
+
+// TestBatchCancellationLeaksNoGoroutines: cancelling a batch mid-run must
+// unwind every driver goroutine the scheduler started, and closing the
+// pool afterwards must stop its workers — cancellation is the path where
+// a driver blocked on a job could most plausibly be orphaned.
+func TestBatchCancellationLeaksNoGoroutines(t *testing.T) {
+	base := leakcheck.Snapshot()
+
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		j := quickJob(fmt.Sprintf("big%d", i), testAlignment(t, 8, 120, 951+uint64(i)), "gmh", 961+uint64(i))
+		j.Samples = 200000
+		j.EMIterations = 10
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := device.NewPool(2)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = RunBatch(ctx, pool, jobs, Options{Drivers: 2, Quantum: 4})
+	}()
+	cancel()
+	<-done
+	pool.Close()
+	leakcheck.Verify(t, base)
+}
+
+// TestBatchCompletionLeaksNoGoroutines: the clean-exit counterpart — a
+// batch that runs to completion must also leave nothing behind once the
+// pool is closed.
+func TestBatchCompletionLeaksNoGoroutines(t *testing.T) {
+	base := leakcheck.Snapshot()
+
+	jobs := []Job{
+		quickJob("a", testAlignment(t, 6, 40, 971), "mh", 972),
+		quickJob("b", testAlignment(t, 6, 40, 973), "gmh", 974),
+	}
+	pool := device.NewPool(2)
+	results, err := RunBatch(context.Background(), pool, jobs, Options{Drivers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("job %q failed: %v", r.Name, r.Err)
+		}
+	}
+	pool.Close()
+	leakcheck.Verify(t, base)
+}

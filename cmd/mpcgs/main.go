@@ -56,6 +56,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -92,6 +94,8 @@ func main() {
 		resumeDir  = flag.String("resume", "", "resume from the checkpoint in this directory (implies -checkpoint into it)")
 		inspectDir = flag.String("inspect", "", "print per-job status from the checkpoint in this directory and exit (no resume)")
 		quiet      = flag.Bool("q", false, "print only the final estimate")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mpcgs [flags] <seqdata.phy> <initial-theta>\n")
@@ -100,6 +104,18 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 	// The tempering flags only mean something on the heated sampler (and
 	// batch manifests carry their own per-job knobs): a flag that would
 	// be silently dropped is a spec bug, the same rule the manifest
@@ -475,4 +491,21 @@ func hexOrRaw(s string) string {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mpcgs: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// writeMemProfile writes a heap profile at process exit (after a GC, so
+// the profile reflects live retention rather than garbage).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("-memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatalf("-memprofile: %v", err)
+	}
 }

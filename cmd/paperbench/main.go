@@ -12,20 +12,30 @@
 //
 // -experiment also accepts a comma-separated list. The default -scale
 // quick shrinks workloads to finish in minutes; -scale paper uses the
-// paper's sizes. With -md FILE the run's output is additionally written
-// into FILE as a generated Markdown section, which is how EXPERIMENTS.md
-// at the repository root is produced:
+// paper's sizes, and -experiment seqlen-full runs the Fig. 16 sweep at
+// paper scale regardless of -scale. With -md FILE the run's output is
+// additionally written into FILE as a generated Markdown section, which
+// is how EXPERIMENTS.md at the repository root is produced:
 //
 //	paperbench -experiment samples,sequences,seqlen -md EXPERIMENTS.md
+//
+// With -json FILE the measured speedup points are also written as a
+// machine-readable snapshot — the BENCH_<pr>.json trajectory committed
+// at the repository root. -cpuprofile/-memprofile write stock pprof
+// profiles of the run.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"mpcgs/internal/experiments"
 	"mpcgs/internal/stats"
@@ -37,15 +47,30 @@ var measuredSpeedups = map[string][]experiments.SpeedupPoint{}
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "comma-separated experiments to run (accuracy, samples, sequences, seqlen, curve, burnin, multichain, batch, tempering, proposalsize, nested, growth, all)")
+		experiment  = flag.String("experiment", "all", "comma-separated experiments to run (accuracy, samples, sequences, seqlen, seqlen-full, curve, burnin, multichain, batch, tempering, proposalsize, nested, growth, all)")
 		scale       = flag.String("scale", "quick", "workload sizing: quick or paper")
 		workers     = flag.Int("workers", 0, "device parallelism (0 = all cores)")
 		seed        = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
 		mdPath      = flag.String("md", "", "also write the run's output to this Markdown file as a generated section")
+		jsonPath    = flag.String("json", "", "write the run's measured speedup/time points to this file as machine-readable JSON (the BENCH_*.json trajectory)")
 		guardPath   = flag.String("guard", "", "compare measured §6 speedups against the baselines in this generated Markdown file (typically EXPERIMENTS.md) and exit non-zero below the floor")
 		guardFactor = flag.Float64("guard-factor", 0.7, "speedup floor as a fraction of the committed baseline (absorbs runner noise)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 	c := experiments.Common{
 		Scale:   experiments.Scale(*scale),
 		Workers: *workers,
@@ -64,7 +89,10 @@ func main() {
 		"proposalsize": runProposalSize,
 		"nested":       runNested,
 		"growth":       runGrowth,
+		"seqlen-full":  runSeqLenFull,
 	}
+	// seqlen-full always runs the paper-scale workload, so "all" leaves it
+	// out; select it explicitly when regenerating the full-scale table.
 	order := []string{
 		"accuracy", "samples", "sequences", "seqlen", "curve", "burnin",
 		"multichain", "batch", "tempering", "proposalsize", "nested", "growth",
@@ -104,8 +132,70 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *mdPath)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, names, c); err != nil {
+			fatalf("writing %s: %v", *jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *jsonPath)
+	}
 	if *guardPath != "" {
 		runGuard(*guardPath, *guardFactor)
+	}
+}
+
+// benchSnapshot is the schema of a -json snapshot: one file per run,
+// committed as BENCH_<pr>.json at the repository root, forming the
+// machine-readable performance trajectory across PRs.
+type benchSnapshot struct {
+	Schema      string                                `json:"schema"`
+	GeneratedAt string                                `json:"generated_at"`
+	Scale       string                                `json:"scale"`
+	Workers     int                                   `json:"workers"` // 0 = all cores
+	GOMAXPROCS  int                                   `json:"gomaxprocs"`
+	Seed        uint64                                `json:"seed"` // 0 = default
+	Experiments []string                              `json:"experiments"`
+	Speedups    map[string][]experiments.SpeedupPoint `json:"speedups"`
+}
+
+// writeJSON dumps the run's measured speedup points as indented JSON.
+// Only experiments that measure serial-vs-parallel pairs contribute;
+// a run that selected none still writes a valid (empty) snapshot.
+func writeJSON(path string, names []string, c experiments.Common) error {
+	scale := string(c.Scale)
+	if scale == "" {
+		scale = string(experiments.ScaleQuick)
+	}
+	snap := benchSnapshot{
+		Schema:      "mpcgs-paperbench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Workers:     c.Workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        c.Seed,
+		Experiments: names,
+		Speedups:    measuredSpeedups,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeMemProfile writes a heap profile at process exit (after a GC, so
+// the profile reflects live retention rather than garbage).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("-memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatalf("-memprofile: %v", err)
 	}
 }
 
@@ -240,6 +330,20 @@ func runSeqLen(w io.Writer, c experiments.Common) error {
 	}
 	measuredSpeedups["seqlen"] = pts
 	printSpeedup(w, "Table 4 / Figure 16: speedup vs sequence length",
+		"bp", pts, []float64{3.69, 5.67, 7.86, 10.22, 12.63, 23.28})
+	return nil
+}
+
+func runSeqLenFull(w io.Writer, c experiments.Common) error {
+	pts, err := experiments.SpeedupVsSeqLenFull(c)
+	if err != nil {
+		return err
+	}
+	measuredSpeedups["seqlen-full"] = pts
+	// The title must not contain "speedup vs sequence length": guard
+	// sections match by substring, and this table's baselines are keyed
+	// apart from the quick-scale seqlen sweep.
+	printSpeedup(w, "Figure 16 trajectory: sequence-length sweep at paper scale",
 		"bp", pts, []float64{3.69, 5.67, 7.86, 10.22, 12.63, 23.28})
 	return nil
 }

@@ -100,8 +100,76 @@ type task struct {
 	done     atomic.Int64 // grid indices accounted for (run or skipped by panic)
 	finished chan struct{}
 
+	// segs, when non-nil, selects affinity claiming (LaunchAffine): the
+	// chunk axis is split into len(segs) contiguous segments, worker w
+	// drains segment w through its own cursor before stealing from the
+	// others round-robin. The segment map is a pure function of
+	// (n, chunk, len(segs)), so across repeated launches of the same grid
+	// the same worker keeps claiming the same grid indices — warm caches —
+	// while idle workers still steal, so imbalance self-corrects exactly
+	// as with the shared cursor.
+	segs []seg
+
 	panicOnce sync.Once
 	panicVal  atomic.Value
+}
+
+// seg is one affinity segment's claim cursor, padded out to its own cache
+// line so stealing workers do not false-share their neighbours' cursors.
+type seg struct {
+	next atomic.Int64
+	_    [56]byte
+}
+
+// segBounds returns segment s's chunk-index range. Segments partition the
+// m = ceil(n/chunk) chunks as evenly as integer division allows.
+func (t *task) segBounds(s int) (lo, hi int) {
+	m := (t.n + t.chunk - 1) / t.chunk
+	S := len(t.segs)
+	return s * m / S, (s + 1) * m / S
+}
+
+// claimAffine claims one chunk for worker w: first from w's own segment,
+// then — once it is drained — stolen from the next segments round-robin.
+// The choice of claiming worker never changes which chunks exist or how
+// results combine, so affinity is purely a locality hint.
+func (t *task) claimAffine(w int) (lo, hi int, ok bool) {
+	S := len(t.segs)
+	for k := 0; k < S; k++ {
+		s := w + k
+		if s >= S {
+			s -= S
+		}
+		segLo, segHi := t.segBounds(s)
+		if segLo >= segHi {
+			continue
+		}
+		ci := segLo + int(t.segs[s].next.Add(1)) - 1
+		if ci >= segHi {
+			continue
+		}
+		lo = ci * t.chunk
+		hi = lo + t.chunk
+		if hi > t.n {
+			hi = t.n
+		}
+		return lo, hi, true
+	}
+	return 0, 0, false
+}
+
+// drained reports whether every chunk of the grid has been claimed.
+func (t *task) drained() bool {
+	if t.segs == nil {
+		return int(t.next.Load()) >= t.n
+	}
+	for s := range t.segs {
+		segLo, segHi := t.segBounds(s)
+		if segLo+int(t.segs[s].next.Load()) < segHi {
+			return false
+		}
+	}
+	return true
 }
 
 // New returns a device with the given number of workers. Non-positive
@@ -172,7 +240,7 @@ func (p *pool) submit(t *task) {
 		if !p.started {
 			p.started = true
 			for i := 0; i < p.size; i++ {
-				go p.worker()
+				go p.worker(i)
 			}
 		}
 		p.queue = append(p.queue, t)
@@ -191,7 +259,7 @@ func (p *pool) submit(t *task) {
 func (p *pool) pending() *task {
 	live := p.queue[:0]
 	for _, t := range p.queue {
-		if int(t.next.Load()) < t.n {
+		if !t.drained() {
 			live = append(live, t)
 		}
 	}
@@ -210,8 +278,9 @@ func (p *pool) pending() *task {
 // worker is the loop of one persistent pool goroutine: park until a task
 // with unclaimed chunks appears, claim a bounded quantum of its chunks,
 // re-pick, repeat. The bounded quantum (rather than draining the task)
-// keeps claiming fair when several tenants have grids in flight.
-func (p *pool) worker() {
+// keeps claiming fair when several tenants have grids in flight. The
+// worker's id is its stable affinity segment for LaunchAffine grids.
+func (p *pool) worker(id int) {
 	for {
 		p.mu.Lock()
 		var t *task
@@ -226,27 +295,39 @@ func (p *pool) worker() {
 		if t == nil {
 			return // pool closed
 		}
-		t.runChunks(fairQuantum)
+		t.runChunks(fairQuantum, id)
 	}
 }
 
 // run claims and executes chunks until the grid is exhausted — the
-// launching goroutine's loop, which always sees its own grid through.
-func (t *task) run() { t.runChunks(math.MaxInt) }
+// launching goroutine's loop, which always sees its own grid through. The
+// launcher claims as the last affinity segment (pool workers own the
+// others); a nested launch's calling kernel thread uses the same slot.
+func (t *task) run(launcherSeg int) { t.runChunks(math.MaxInt, launcherSeg) }
 
 // runChunks claims and executes up to max chunks, stopping early once the
-// grid is exhausted.
+// grid is exhausted. For affinity grids, w selects the claimer's home
+// segment; ordinary grids share one cursor and ignore it.
 //
 //mpcgs:hotpath
-func (t *task) runChunks(max int) {
+func (t *task) runChunks(max, w int) {
 	for c := 0; c < max; c++ {
-		lo := int(t.next.Add(int64(t.chunk))) - t.chunk
-		if lo >= t.n {
-			return
-		}
-		hi := lo + t.chunk
-		if hi > t.n {
-			hi = t.n
+		var lo, hi int
+		if t.segs != nil {
+			var ok bool
+			lo, hi, ok = t.claimAffine(w)
+			if !ok {
+				return
+			}
+		} else {
+			lo = int(t.next.Add(int64(t.chunk))) - t.chunk
+			if lo >= t.n {
+				return
+			}
+			hi = lo + t.chunk
+			if hi > t.n {
+				hi = t.n
+			}
 		}
 		t.exec(lo, hi)
 	}
@@ -276,6 +357,24 @@ func (t *task) exec(lo, hi int) {
 // participates, regardless of what the pool workers are doing. A panic in
 // any kernel thread is re-raised on the calling goroutine.
 func (d *Device) Launch(n int, kernel func(tid int)) {
+	d.launch(n, kernel, false)
+}
+
+// LaunchAffine runs kernel for every thread id in [0, n) like Launch, with
+// sticky worker affinity on the grid: the chunk axis is partitioned into
+// per-worker segments, each persistent worker drains its own segment
+// first, and only then steals from the others round-robin. Across
+// repeated launches of equally sized grids the same worker keeps
+// revisiting the same grid indices, so per-index working sets (the
+// felsen pattern blocks) stay warm in that worker's cache. Affinity never
+// changes which threads run or how the caller combines results — it is a
+// locality hint only — and idle-time stealing plus the bounded pool
+// quantum preserve both load balance and tenant fairness.
+func (d *Device) LaunchAffine(n int, kernel func(tid int)) {
+	d.launch(n, kernel, true)
+}
+
+func (d *Device) launch(n int, kernel func(tid int), affine bool) {
 	if n <= 0 {
 		return
 	}
@@ -297,8 +396,11 @@ func (d *Device) Launch(n int, kernel func(tid int)) {
 	}
 	//mpcgsvet:ignore-alloc one task header and channel per launch, amortized over the whole grid
 	t := &task{kernel: kernel, n: n, chunk: chunk, finished: make(chan struct{})}
+	if affine {
+		t.segs = make([]seg, d.workers) //mpcgsvet:ignore-alloc per-launch segment cursors, one cache line per worker, amortized over the grid
+	}
 	d.pool.submit(t)
-	t.run()
+	t.run(d.workers - 1)
 	if t.done.Load() != int64(n) {
 		<-t.finished
 	}

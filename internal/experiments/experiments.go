@@ -288,6 +288,17 @@ func SpeedupVsSeqLen(c Common) ([]SpeedupPoint, error) {
 	return out, nil
 }
 
+// SpeedupVsSeqLenFull runs the Fig. 16 sweep at the paper's workload
+// sizes regardless of the configured scale: the committed full-scale
+// trajectory EXPERIMENTS.md carries alongside the quick-scale tables.
+// It is keyed separately from the quick-scale seqlen sweep everywhere
+// (experiment name, table title, guard baselines), so a quick-scale CI
+// run never compares itself against full-scale numbers.
+func SpeedupVsSeqLenFull(c Common) ([]SpeedupPoint, error) {
+	c.Scale = ScalePaper
+	return SpeedupVsSeqLen(c)
+}
+
 // CurveResult reproduces Fig. 5: the relative log-likelihood curve from a
 // single sampling pass driven far below the true θ.
 type CurveResult struct {

@@ -58,6 +58,42 @@ func TestParseBaselines(t *testing.T) {
 	}
 }
 
+// TestParseBaselinesKeysFullScaleSeparately pins the section-title
+// contract: the paper-scale sequence-length table is keyed "seqlen-full",
+// never merged into (or matched as) the quick-scale "seqlen" baselines —
+// a quick CI run must not measure itself against full-scale floors.
+func TestParseBaselinesKeysFullScaleSeparately(t *testing.T) {
+	doc := `
+=== Table 4 / Figure 16: speedup vs sequence length ===
+bp         serial (s)   parallel (s)   speedup    paper
+200        0.068        0.015          4.64       3.69
+
+=== Figure 16 trajectory: sequence-length sweep at paper scale ===
+bp         serial (s)   parallel (s)   speedup    paper
+200        1.406        0.232          6.07       3.69
+2000       12.446       1.221          10.20      23.28
+`
+	base, err := ParseBaselines(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["seqlen"]; len(got) != 1 || got[200] != 4.64 {
+		t.Errorf("seqlen = %v, want only the quick-scale row", got)
+	}
+	if got := base["seqlen-full"]; len(got) != 2 || got[200] != 6.07 || got[2000] != 10.20 {
+		t.Errorf("seqlen-full = %v, want both paper-scale rows", got)
+	}
+
+	// And the floor check guards the full-scale points under their own key.
+	measured := map[string][]SpeedupPoint{
+		"seqlen-full": {{Param: 2000, Speedup: 6.0}}, // below 10.20*0.7
+	}
+	checked, violations := CheckSpeedupFloor(measured, base, 0.7)
+	if checked != 1 || len(violations) != 1 || violations[0].Experiment != "seqlen-full" {
+		t.Errorf("checked=%d violations=%v, want the one seqlen-full violation", checked, violations)
+	}
+}
+
 func TestParseBaselinesRejectsEmptyDoc(t *testing.T) {
 	if _, err := ParseBaselines(strings.NewReader("# nothing here\n")); err == nil {
 		t.Fatal("expected error on a document without speedup tables")

@@ -21,20 +21,44 @@ package felsen
 //     This is an exact transformation of the sum over sites.
 //   - Tip conditionals never enter the cache: they are immutable for the
 //     evaluator's lifetime, so they live once in a shared per-tip pattern
-//     table (Evaluator.tipCell) and the cache holds interior nodes only.
+//     table (Evaluator.tipCond) and the cache holds interior nodes only.
+//
+// # Lane layout
 //
 // All conditional storage — the cache, the tip table and the scratch — is
-// node-major: one node's cells for every pattern lie contiguously, the
-// memory-coalescing layout the paper arranges for its device buffers. The
-// kernel walks the dirty nodes bottom-up and streams over each node's
-// pattern row, so every load and store is sequential.
+// structure-of-arrays: a node's conditionals are four contiguous
+// per-state float64 lanes of one value per pattern, followed (in a
+// separate array) by one scale lane carrying the accumulated rescaling
+// logs. This is the memory-coalescing layout the paper arranges for its
+// device buffers: the kernel streams each lane sequentially, every load
+// and store is dense, and the inner loop indexes equal-length lanes by
+// one induction variable so the compiler drops the bounds checks
+// (verified with -gcflags=-d=ssa/check_bce). Node rows are node-major:
+// interior node i's lanes start at (i-nTips)·4·nPatterns in the cond
+// array and (i-nTips)·nPatterns in the scale array.
+//
+// # Pattern blocks
+//
+// The pattern axis is partitioned into fixed-width blocks (BlockSize
+// patterns each). Patterns are mutually independent, so one evaluation's
+// blocks can run concurrently: each block sweeps all dirty nodes
+// bottom-up for its pattern range and finishes with its own root
+// contraction partial sum, and evalDelta adds the per-block partials in
+// block order. Block boundaries are a pure function of
+// (nPatterns, BlockSize) — never of worker count or schedule — and the
+// reduction order is fixed, so results are bit-for-bit reproducible
+// across runs, across serial and parallel devices, and across
+// kill/resume. Large evaluations spread their blocks over the device
+// pool with affinity (device.LaunchAffine), the two-level
+// proposals × blocks parallelism; small ones run inline, where blocked
+// and unblocked summation coincide whenever nPatterns <= BlockSize.
 //
 // Within every recomputed node the arithmetic is identical to the full
 // serial evaluation; only the summation over sites is reassociated (by
-// pattern), so delta results agree with LogLikelihoodSerial to floating-
-// point roundoff rather than bit-for-bit. All members of one proposal set
-// are evaluated through the same path, so their weights stay exactly
-// comparable.
+// pattern, then by block), so delta results agree with
+// LogLikelihoodSerial to floating-point roundoff rather than bit-for-bit.
+// All members of one proposal set are evaluated through the same path, so
+// their weights stay exactly comparable.
 
 import (
 	"math"
@@ -44,13 +68,22 @@ import (
 	"mpcgs/internal/subst"
 )
 
-// cell is one cached conditional: the likelihood vector and its
-// accumulated rescaling log, packed together so a node lookup touches one
-// contiguous 40-byte record.
-type cell struct {
-	p [4]float64
-	s float64
-}
+// nStates is the nucleotide alphabet size: the number of per-state lanes
+// in every conditional row.
+const nStates = 4
+
+// DefaultBlockSize is the default pattern-block width: 128 patterns make
+// a 1 KiB lane, so one node's row (four state lanes plus the scale lane)
+// plus its two children's rows stay within a typical L1 data cache while
+// a block streams them.
+const DefaultBlockSize = 128
+
+// blockParallelMinWork is the evaluation size — dirty-node rows times
+// patterns — below which the blocks run inline on the caller: spreading a
+// small neighbourhood recomputation over the pool costs more in launch
+// traffic than it recovers. The threshold gates execution only; block
+// boundaries and hence results are unaffected.
+const blockParallelMinWork = 1 << 13
 
 // DeltaCache holds the per-pattern conditional likelihoods of every
 // interior node of one base genealogy, plus the base tree itself for
@@ -58,25 +91,46 @@ type cell struct {
 // and read concurrently by any number of LogLikelihoodDelta calls.
 type DeltaCache struct {
 	base *gtree.Tree
-	// cells is node-major: entry [(node-nTips)*nPatterns + pat].
-	cells  []cell
+	// cond is node-major SoA: interior node row k = node-nTips occupies
+	// cond[k*4*nPatterns : (k+1)*4*nPatterns], state lane x of that row at
+	// offset x*nPatterns.
+	cond []float64
+	// scale holds the rows' rescaling-log lanes: row k at
+	// scale[k*nPatterns : (k+1)*nPatterns].
+	scale  []float64
 	logLik float64
 	valid  bool
 }
 
 // deltaScratch is the pooled working memory of one delta evaluation: the
 // dirty marking, the changed nodes in bottom-up order, fresh transition
-// matrices for changed edges, and the recomputed rows.
+// matrices for changed edges, the recomputed lanes, and the per-block
+// partial sums. The block kernel closure is built once per scratch and
+// rebound to the evaluation at hand through the scratch's fields, so
+// launching blocks allocates nothing per evaluation.
 type deltaScratch struct {
 	dirty []bool
 	order []int
 	pos   []int          // node -> index into order, valid for dirty nodes
 	mats  []subst.Matrix // indexed by child node, like scratch.mats
-	// cells holds the recomputed conditionals of evaluations that do not
-	// write through to the cache, node-major like the cache itself: entry
-	// [pos[node]*nPatterns + pat]. Grown on demand and reused; a staged
-	// commit copies these rows into the cache verbatim.
-	cells []cell
+	// cond/scale hold the recomputed rows of evaluations that do not
+	// write through to the cache, laid out exactly like the cache's rows
+	// but indexed by pos[node] instead of node-nTips. Grown on demand and
+	// reused; a staged commit copies these rows into the cache verbatim.
+	cond  []float64
+	scale []float64
+	// sums collects the per-block root-contraction partials, combined in
+	// block order — the fixed-order reduction that keeps blocked results
+	// deterministic.
+	sums []float64
+
+	// Per-evaluation kernel bindings, set by evalDelta before the blocks
+	// run and cleared after.
+	e         *Evaluator
+	c         *DeltaCache
+	t         *gtree.Tree
+	writeBack bool
+	kernel    func(b int)
 }
 
 // NewDeltaCache allocates an empty cache sized for the evaluator's
@@ -84,7 +138,10 @@ type deltaScratch struct {
 // Rebase.
 func (e *Evaluator) NewDeltaCache() *DeltaCache {
 	nInt := len(e.seqs) - 1
-	return &DeltaCache{cells: make([]cell, nInt*e.nPatterns)}
+	return &DeltaCache{
+		cond:  make([]float64, nInt*nStates*e.nPatterns),
+		scale: make([]float64, nInt*e.nPatterns),
+	}
 }
 
 // CopyFrom makes c an exact copy of src: same base tree, conditionals and
@@ -101,7 +158,8 @@ func (c *DeltaCache) CopyFrom(src *DeltaCache) {
 	} else {
 		c.base.CopyFrom(src.base)
 	}
-	copy(c.cells, src.cells)
+	copy(c.cond, src.cond)
+	copy(c.scale, src.scale)
 	c.logLik = src.logLik
 	c.valid = true
 }
@@ -139,6 +197,8 @@ func (e *Evaluator) Rebase(c *DeltaCache, t *gtree.Tree) float64 {
 // cache is only read). It agrees with LogLikelihoodSerial(t) to floating-
 // point roundoff; the speedup over it grows with the fraction of the tree
 // left untouched by the edit.
+//
+//mpcgs:hotpath
 func (e *Evaluator) LogLikelihoodDelta(c *DeltaCache, t *gtree.Tree) float64 {
 	if !c.valid {
 		panic("felsen: LogLikelihoodDelta on cache with no base; call Rebase first")
@@ -156,6 +216,8 @@ func (e *Evaluator) LogLikelihoodDelta(c *DeltaCache, t *gtree.Tree) float64 {
 // recomputed with their new conditionals written into the cache in place,
 // and t becomes the new base. It must not run concurrently with delta
 // evaluations on the same cache. Returns log P(D|G) for t.
+//
+//mpcgs:hotpath
 func (e *Evaluator) RebaseTo(c *DeltaCache, t *gtree.Tree) float64 {
 	if !c.valid {
 		return e.Rebase(c, t)
@@ -217,7 +279,7 @@ func (d *DeltaEval) LogLik() float64 { return d.logLik }
 
 // Commit writes the staged conditionals into the cache and makes the
 // evaluated tree the cache's new base: the accept path of a chain step,
-// costing one row copy per recomputed node instead of a re-evaluation
+// costing one lane copy per recomputed node instead of a re-evaluation
 // (RebaseTo's price). The evaluated tree must not have been mutated since
 // StageDelta.
 //
@@ -230,7 +292,9 @@ func (d *DeltaEval) Commit() {
 	nTips := d.t.NTips()
 	nPat := d.e.nPatterns
 	for k, node := range ds.order {
-		copy(d.c.cells[(node-nTips)*nPat:(node-nTips+1)*nPat], ds.cells[k*nPat:(k+1)*nPat])
+		r := node - nTips
+		copy(d.c.cond[r*nStates*nPat:(r+1)*nStates*nPat], ds.cond[k*nStates*nPat:(k+1)*nStates*nPat])
+		copy(d.c.scale[r*nPat:(r+1)*nPat], ds.scale[k*nPat:(k+1)*nPat])
 	}
 	d.c.base.CopyFrom(d.t)
 	d.c.logLik = d.logLik
@@ -292,14 +356,17 @@ func sortByAge(t *gtree.Tree, order []int) {
 	}
 }
 
-// evalDelta recomputes the dirty nodes' pattern rows bottom-up, reading
+// evalDelta recomputes the dirty nodes' pattern lanes bottom-up, reading
 // clean conditionals from the cache and tip conditionals from the shared
-// tip table. With writeBack the recomputed rows go straight into the
+// tip table. With writeBack the recomputed lanes go straight into the
 // cache (safe because children are processed before parents); otherwise
-// they go into the scratch rows, from where a DeltaEval can commit them
-// later without re-evaluating. The per-node arithmetic mirrors
-// siteLogLikelihoodIter exactly; only the loop order differs (node-outer,
-// streaming each node's contiguous row).
+// they go into the scratch lanes, from where a DeltaEval can commit them
+// later without re-evaluating. The pattern axis is swept in fixed blocks
+// (see runBlock); large evaluations spread the blocks over the device
+// pool with worker affinity, and the per-block partial sums always
+// combine in block order, so the result never depends on the schedule.
+//
+//mpcgs:hotpath
 func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, writeBack bool) float64 {
 	// Fresh transition matrices for every edge below a changed node: these
 	// are the only edges whose lengths can differ from the base (an edge
@@ -312,84 +379,198 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 			e.model.TransitionInto(nd.Age-t.Nodes[ch].Age, &ds.mats[ch])
 		}
 	}
-	nTips := t.NTips()
 	nPat := e.nPatterns
 	if !writeBack {
-		if need := len(ds.order) * nPat; cap(ds.cells) < need {
-			ds.cells = make([]cell, need) //mpcgsvet:ignore-alloc cap-guarded pooled-scratch growth, amortized across proposals
+		if need := len(ds.order) * nStates * nPat; cap(ds.cond) < need {
+			ds.cond = make([]float64, need)                //mpcgsvet:ignore-alloc cap-guarded pooled-scratch growth, amortized across proposals
+			ds.scale = make([]float64, len(ds.order)*nPat) //mpcgsvet:ignore-alloc cap-guarded pooled-scratch growth, amortized across proposals
 		} else {
-			ds.cells = ds.cells[:need]
+			ds.cond = ds.cond[:need]
+			ds.scale = ds.scale[:len(ds.order)*nPat]
 		}
 		for k, node := range ds.order {
 			ds.pos[node] = k
 		}
 	}
-	for k, node := range ds.order {
+	bs := e.blockSize
+	nBlocks := (nPat + bs - 1) / bs
+	if cap(ds.sums) < nBlocks {
+		ds.sums = make([]float64, nBlocks) //mpcgsvet:ignore-alloc cap-guarded pooled-scratch growth, amortized across proposals
+	} else {
+		ds.sums = ds.sums[:nBlocks]
+	}
+	ds.e, ds.c, ds.t, ds.writeBack = e, c, t, writeBack
+	if nBlocks > 1 && e.dev.Workers() > 1 && (len(ds.order)+1)*nPat >= blockParallelMinWork {
+		// Two-level parallelism: this evaluation's blocks join the device
+		// pool alongside any other proposals' blocks. Affinity keeps each
+		// block on the worker that streamed it last round.
+		e.dev.LaunchAffine(nBlocks, ds.kernel)
+	} else {
+		for b := 0; b < nBlocks; b++ {
+			ds.runBlock(b)
+		}
+	}
+	// Fixed-order reduction over the per-block partials: the only place
+	// block results meet, so determinism needs nothing from the scheduler.
+	total := 0.0
+	for _, s := range ds.sums {
+		total += s
+	}
+	ds.e, ds.c, ds.t = nil, nil, nil
+	return total
+}
+
+// row returns a node's conditional lanes for reading: the shared tip
+// table for tips (their scale lane is the shared all-zero lane), the
+// staged scratch lanes for already-recomputed dirty nodes of a
+// non-write-back evaluation, and the cache otherwise. cond is the node's
+// four contiguous state lanes (lane x at offset x·nPatterns), scale its
+// rescaling-log lane.
+func (ds *deltaScratch) row(nTips, node int) (cond, scale []float64) {
+	e := ds.e
+	nPat := e.nPatterns
+	switch {
+	case node < nTips:
+		return e.tipCond[node*nStates*nPat : (node+1)*nStates*nPat], e.zeroScale
+	case ds.dirty[node] && !ds.writeBack:
+		k := ds.pos[node]
+		return ds.cond[k*nStates*nPat : (k+1)*nStates*nPat], ds.scale[k*nPat : (k+1)*nPat]
+	default:
+		r := node - nTips
+		return ds.c.cond[r*nStates*nPat : (r+1)*nStates*nPat], ds.c.scale[r*nPat : (r+1)*nPat]
+	}
+}
+
+// outRow returns the lanes a dirty node's recomputation writes: the cache
+// row itself for write-back evaluations, the staged scratch row otherwise.
+func (ds *deltaScratch) outRow(nTips, node int) (cond, scale []float64) {
+	e := ds.e
+	nPat := e.nPatterns
+	if ds.writeBack {
+		r := node - nTips
+		return ds.c.cond[r*nStates*nPat : (r+1)*nStates*nPat], ds.c.scale[r*nPat : (r+1)*nPat]
+	}
+	k := ds.pos[node]
+	return ds.cond[k*nStates*nPat : (k+1)*nStates*nPat], ds.scale[k*nPat : (k+1)*nPat]
+}
+
+// runBlock evaluates one pattern block: every dirty node's lanes for the
+// block's pattern range, bottom-up, then the block's root-contraction
+// partial sum into ds.sums[b]. Blocks touch disjoint pattern ranges of
+// the same rows, so any number of one evaluation's blocks may run
+// concurrently on the pool. The inner loop is a single fused pass per
+// node — both children's dot products, the running maximum, the rare
+// rescale, and the scale lane — over equal-length lane slices indexed by
+// one induction variable, which is what lets the compiler eliminate every
+// bounds check (-d=ssa/check_bce) and keep the loads and stores dense.
+// The per-pattern arithmetic and its operation order are identical to
+// siteLogLikelihoodIter.
+//
+//mpcgs:hotpath
+func (ds *deltaScratch) runBlock(b int) {
+	e := ds.e
+	nPat := e.nPatterns
+	lo := b * e.blockSize
+	hi := lo + e.blockSize
+	if hi > nPat {
+		hi = nPat
+	}
+	t := ds.t
+	nTips := t.NTips()
+	for _, node := range ds.order {
 		nd := &t.Nodes[node]
 		c0, c1 := nd.Child[0], nd.Child[1]
-		lrow, rrow := e.nodeRow(c, ds, writeBack, nTips, c0), e.nodeRow(c, ds, writeBack, nTips, c1)
-		var out []cell
-		if writeBack {
-			out = c.cells[(node-nTips)*nPat : (node-nTips+1)*nPat]
-		} else {
-			out = ds.cells[k*nPat : (k+1)*nPat]
-		}
+		lc, lsf := ds.row(nTips, c0)
+		rc, rsf := ds.row(nTips, c1)
+		oc, osf := ds.outRow(nTips, node)
 		m0, m1 := &ds.mats[c0], &ds.mats[c1]
-		for pat := 0; pat < nPat; pat++ {
-			l, r := &lrow[pat], &rrow[pat]
-			o := &out[pat]
+		a00, a01, a02, a03 := m0[0][0], m0[0][1], m0[0][2], m0[0][3]
+		a10, a11, a12, a13 := m0[1][0], m0[1][1], m0[1][2], m0[1][3]
+		a20, a21, a22, a23 := m0[2][0], m0[2][1], m0[2][2], m0[2][3]
+		a30, a31, a32, a33 := m0[3][0], m0[3][1], m0[3][2], m0[3][3]
+		b00, b01, b02, b03 := m1[0][0], m1[0][1], m1[0][2], m1[0][3]
+		b10, b11, b12, b13 := m1[1][0], m1[1][1], m1[1][2], m1[1][3]
+		b20, b21, b22, b23 := m1[2][0], m1[2][1], m1[2][2], m1[2][3]
+		b30, b31, b32, b33 := m1[3][0], m1[3][1], m1[3][2], m1[3][3]
+		o0 := oc[lo:hi]
+		o1 := oc[nPat+lo : nPat+hi]
+		o2 := oc[2*nPat+lo : 2*nPat+hi]
+		o3 := oc[3*nPat+lo : 3*nPat+hi]
+		l0 := lc[lo:hi]
+		l1 := lc[nPat+lo : nPat+hi]
+		l2 := lc[2*nPat+lo : 2*nPat+hi]
+		l3 := lc[3*nPat+lo : 3*nPat+hi]
+		r0 := rc[lo:hi]
+		r1 := rc[nPat+lo : nPat+hi]
+		r2 := rc[2*nPat+lo : 2*nPat+hi]
+		r3 := rc[3*nPat+lo : 3*nPat+hi]
+		ls := lsf[lo:hi]
+		rs := rsf[lo:hi]
+		os := osf[lo:hi]
+		// Pin every lane to the loop slice's length so the compiler can
+		// prove i in range for all of them (bounds-check elimination).
+		n := len(o0)
+		o1, o2, o3 = o1[:n], o2[:n], o3[:n]
+		l0, l1, l2, l3 = l0[:n], l1[:n], l2[:n], l3[:n]
+		r0, r1, r2, r3 = r0[:n], r1[:n], r2[:n], r3[:n]
+		ls, rs, os = ls[:n], rs[:n], os[:n]
+		for i := range o0 {
+			u0, u1, u2, u3 := l0[i], l1[i], l2[i], l3[i]
+			v0, v1, v2, v3 := r0[i], r1[i], r2[i], r3[i]
+			w0 := (a00*u0 + a01*u1 + a02*u2 + a03*u3) * (b00*v0 + b01*v1 + b02*v2 + b03*v3)
+			w1 := (a10*u0 + a11*u1 + a12*u2 + a13*u3) * (b10*v0 + b11*v1 + b12*v2 + b13*v3)
+			w2 := (a20*u0 + a21*u1 + a22*u2 + a23*u3) * (b20*v0 + b21*v1 + b22*v2 + b23*v3)
+			w3 := (a30*u0 + a31*u1 + a32*u2 + a33*u3) * (b30*v0 + b31*v1 + b32*v2 + b33*v3)
 			maxv := 0.0
-			for x := 0; x < 4; x++ {
-				s0 := m0[x][0]*l.p[0] + m0[x][1]*l.p[1] + m0[x][2]*l.p[2] + m0[x][3]*l.p[3]
-				s1 := m1[x][0]*r.p[0] + m1[x][1]*r.p[1] + m1[x][2]*r.p[2] + m1[x][3]*r.p[3]
-				o.p[x] = s0 * s1
-				if o.p[x] > maxv {
-					maxv = o.p[x]
-				}
+			if w0 > maxv {
+				maxv = w0
 			}
-			sc := l.s + r.s
+			if w1 > maxv {
+				maxv = w1
+			}
+			if w2 > maxv {
+				maxv = w2
+			}
+			if w3 > maxv {
+				maxv = w3
+			}
+			sc := ls[i] + rs[i]
 			if maxv < rescaleThreshold && maxv > 0 {
 				inv := 1 / maxv
-				for x := 0; x < 4; x++ {
-					o.p[x] *= inv
-				}
+				w0 *= inv
+				w1 *= inv
+				w2 *= inv
+				w3 *= inv
 				sc += math.Log(maxv)
 			}
-			o.s = sc
+			o0[i] = w0
+			o1[i] = w1
+			o2[i] = w2
+			o3[i] = w3
+			os[i] = sc
 		}
 	}
 	// Root contraction with the prior frequencies (Eq. 21), per pattern.
 	// The root is always dirty here: diffDirty marks every changed node's
 	// full ancestor path.
-	rootRow := e.nodeRow(c, ds, writeBack, nTips, t.Root)
-	total := 0.0
-	for pat := 0; pat < nPat; pat++ {
-		rc := &rootRow[pat]
-		siteL := e.freqs[0]*rc.p[0] + e.freqs[1]*rc.p[1] + e.freqs[2]*rc.p[2] + e.freqs[3]*rc.p[3]
+	rc, rsf := ds.row(nTips, t.Root)
+	f0, f1, f2, f3 := e.freqs[0], e.freqs[1], e.freqs[2], e.freqs[3]
+	p0 := rc[lo:hi]
+	p1 := rc[nPat+lo : nPat+hi]
+	p2 := rc[2*nPat+lo : 2*nPat+hi]
+	p3 := rc[3*nPat+lo : 3*nPat+hi]
+	ps := rsf[lo:hi]
+	pc := e.patCount[lo:hi]
+	n := len(p0)
+	p1, p2, p3, ps, pc = p1[:n], p2[:n], p3[:n], ps[:n], pc[:n]
+	sum := 0.0
+	for i := range p0 {
+		siteL := f0*p0[i] + f1*p1[i] + f2*p2[i] + f3*p3[i]
 		if siteL <= 0 {
-			total += logspace.NegInf
+			sum += logspace.NegInf
 			continue
 		}
-		total += e.patCount[pat] * (math.Log(siteL) + rc.s)
+		sum += pc[i] * (math.Log(siteL) + ps[i])
 	}
-	return total
-}
-
-// nodeRow returns a node's conditional cells for all patterns: the shared
-// tip table for tips, the scratch rows for already-recomputed dirty nodes
-// (write-through evaluations keep those in the cache itself), and the
-// cache for clean interior nodes. A method rather than a closure inside
-// evalDelta: the closure captured five locals and allocated on every
-// staged evaluation.
-func (e *Evaluator) nodeRow(c *DeltaCache, ds *deltaScratch, writeBack bool, nTips, node int) []cell {
-	nPat := e.nPatterns
-	switch {
-	case node < nTips:
-		return e.tipCell[node*nPat : (node+1)*nPat]
-	case ds.dirty[node] && !writeBack:
-		k := ds.pos[node]
-		return ds.cells[k*nPat : (k+1)*nPat]
-	default:
-		return c.cells[(node-nTips)*nPat : (node-nTips+1)*nPat]
-	}
+	ds.sums[b] = sum
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"mpcgs/internal/device"
 	"mpcgs/internal/gtree"
 	"mpcgs/internal/phylip"
 	"mpcgs/internal/resim"
@@ -39,25 +40,34 @@ func benchEval(b *testing.B, aln *phylip.Alignment) *Evaluator {
 	return eval
 }
 
+// benchProposal derives one valid neighbourhood resimulation of tree.
+func benchProposal(b *testing.B, tree *gtree.Tree, seed uint32) *gtree.Tree {
+	b.Helper()
+	src := rng.NewMT19937(seed)
+	prop := tree.Clone()
+	for {
+		prop.CopyFrom(tree)
+		target := resim.PickTarget(prop, src)
+		if resim.Resimulate(prop, target, 1.0, src) == nil {
+			return prop
+		}
+	}
+}
+
 // BenchmarkDeltaVsSerial pins the cost of one proposal likelihood on the
 // delta path (incremental, pattern-compressed, allocation-free) against
 // the from-scratch serial evaluation the seed's GMH kernel performed per
 // proposal. The ratio is the per-proposal work saving behind the §6
-// speedups; it must grow with sequence length.
+// speedups; it must grow with sequence length. The 4000bp point is the
+// large-pattern regime this kernel is optimized for (Fig. 16's growing
+// right edge): at 12 sequences it compresses to well over a thousand
+// distinct site patterns, so the pattern-lane streaming dominates.
 func BenchmarkDeltaVsSerial(b *testing.B) {
-	for _, L := range []int{200, 1000} {
+	for _, L := range []int{200, 1000, 4000} {
 		eval, tree := benchFixture(b, 12, L)
 		c := eval.NewDeltaCache()
 		eval.Rebase(c, tree)
-		src := rng.NewMT19937(77)
-		prop := tree.Clone()
-		for {
-			prop.CopyFrom(tree)
-			target := resim.PickTarget(prop, src)
-			if resim.Resimulate(prop, target, 1.0, src) == nil {
-				break
-			}
-		}
+		prop := benchProposal(b, tree, 77)
 		b.Run(fmt.Sprintf("delta/bp=%d", L), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -67,6 +77,76 @@ func BenchmarkDeltaVsSerial(b *testing.B) {
 		b.Run(fmt.Sprintf("serial/bp=%d", L), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eval.LogLikelihoodSerial(prop)
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaParallel measures the same per-proposal delta evaluation
+// with pattern blocks spread over a device pool: the two-level
+// (proposals x blocks) parallelism that lets one proposal's evaluation
+// scale past the proposal count on large alignments.
+func BenchmarkDeltaParallel(b *testing.B) {
+	for _, L := range []int{1000, 4000} {
+		aln, _, err := seqgen.SimulateData(12, L, 1.0, 99)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model, err := subst.NewF81(aln.BaseFreqs(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev := device.New(0)
+		eval, err := New(model, aln, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := gtree.RandomCoalescent(aln.Names, 1.0, rng.NewMT19937(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := eval.NewDeltaCache()
+		eval.Rebase(c, tree)
+		prop := benchProposal(b, tree, 77)
+		b.Run(fmt.Sprintf("bp=%d", L), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eval.LogLikelihoodDelta(c, prop)
+			}
+		})
+		dev.Close()
+	}
+}
+
+// BenchmarkRebaseTo measures the accept path of the GMH round loop: the
+// incremental cache move onto a freshly accepted proposal. Together with
+// BenchmarkDeltaVsSerial it covers both halves of the per-round kernel
+// cost (evaluate-all, rebase-one).
+func BenchmarkRebaseTo(b *testing.B) {
+	for _, L := range []int{200, 1000, 4000} {
+		eval, tree := benchFixture(b, 12, L)
+		c := eval.NewDeltaCache()
+		eval.Rebase(c, tree)
+		src := rng.NewMT19937(31)
+		// Two trees one neighbourhood move apart: alternating RebaseTo
+		// between them keeps every iteration's dirty set non-empty.
+		a := tree.Clone()
+		p := tree.Clone()
+		for {
+			p.CopyFrom(a)
+			target := resim.PickTarget(p, src)
+			if resim.Resimulate(p, target, 1.0, src) == nil {
+				break
+			}
+		}
+		b.Run(fmt.Sprintf("bp=%d", L), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					eval.RebaseTo(c, p)
+				} else {
+					eval.RebaseTo(c, a)
+				}
 			}
 		})
 	}

@@ -46,14 +46,23 @@ type Evaluator struct {
 	// Site-pattern compression for the delta path (see delta.go): distinct
 	// alignment columns, their multiplicities, and per-tip base codes
 	// (0..3, 4 = missing) — the immutable data the paper parks in constant
-	// memory (§4.4). tipCell additionally materializes every tip's
-	// conditional cells per pattern (node-major, [tip*nPatterns+pat], zero
-	// rescale log), immutable for the evaluator's lifetime, so the delta
-	// kernel reads tip conditionals instead of regenerating them.
+	// memory (§4.4). tipCond additionally materializes every tip's
+	// conditional lanes per pattern in the same SoA row layout as the
+	// delta cache (tip i's state lane x at [i*4*nPatterns + x*nPatterns]),
+	// immutable for the evaluator's lifetime, so the delta kernel streams
+	// tip conditionals instead of regenerating them. zeroScale is the
+	// all-zero rescaling lane every tip row shares.
 	nPatterns int
 	patCount  []float64
 	patBase   [][]uint8
-	tipCell   []cell
+	tipCond   []float64
+	zeroScale []float64
+
+	// blockSize is the pattern-block width of the delta kernel (see
+	// delta.go). It participates in the floating-point summation order, so
+	// it is fixed at construction (DefaultBlockSize) unless overridden by
+	// SetBlockSize before any evaluation.
+	blockSize int
 }
 
 type scratch struct {
@@ -83,11 +92,12 @@ func New(model subst.Model, aln *phylip.Alignment, dev *device.Device) (*Evaluat
 		dev = device.Serial()
 	}
 	e := &Evaluator{
-		model:  model,
-		freqs:  model.Freqs(),
-		seqs:   aln.Seqs,
-		nSites: aln.SeqLen(),
-		dev:    dev,
+		model:     model,
+		freqs:     model.Freqs(),
+		seqs:      aln.Seqs,
+		nSites:    aln.SeqLen(),
+		dev:       dev,
+		blockSize: DefaultBlockSize,
 	}
 	nNodes := 2*len(aln.Seqs) - 1
 	e.pool.New = func() any {
@@ -103,12 +113,17 @@ func New(model subst.Model, aln *phylip.Alignment, dev *device.Device) (*Evaluat
 		}
 	}
 	e.deltaPool.New = func() any {
-		return &deltaScratch{
+		ds := &deltaScratch{
 			dirty: make([]bool, nNodes),
 			order: make([]int, 0, nNodes),
 			pos:   make([]int, nNodes),
 			mats:  make([]subst.Matrix, nNodes),
 		}
+		// The block kernel closure is built once per pooled scratch (cold
+		// path) and rebound per evaluation through the scratch's fields, so
+		// launching blocks allocates nothing on the hot path.
+		ds.kernel = ds.runBlock
+		return ds
 	}
 	e.compressPatterns()
 	return e, nil
@@ -145,14 +160,17 @@ func (e *Evaluator) compressPatterns() {
 			e.patBase[i] = append(e.patBase[i], key[i])
 		}
 	}
-	e.tipCell = make([]cell, nSeqs*e.nPatterns)
+	e.tipCond = make([]float64, nSeqs*nStates*e.nPatterns)
+	e.zeroScale = make([]float64, e.nPatterns)
 	for i := range e.patBase {
+		row := e.tipCond[i*nStates*e.nPatterns : (i+1)*nStates*e.nPatterns]
 		for pat, code := range e.patBase[i] {
-			v := &e.tipCell[i*e.nPatterns+pat]
 			if code < 4 {
-				v.p[code] = 1
+				row[int(code)*e.nPatterns+pat] = 1
 			} else {
-				v.p = [4]float64{1, 1, 1, 1}
+				for x := 0; x < nStates; x++ {
+					row[x*e.nPatterns+pat] = 1
+				}
 			}
 		}
 	}
@@ -160,6 +178,24 @@ func (e *Evaluator) compressPatterns() {
 
 // NSites returns the number of base-pair positions.
 func (e *Evaluator) NSites() int { return e.nSites }
+
+// NPatterns returns the number of distinct site patterns the alignment
+// compresses to: the length of every conditional lane in the delta path.
+func (e *Evaluator) NPatterns() int { return e.nPatterns }
+
+// SetBlockSize overrides the delta kernel's pattern-block width
+// (DefaultBlockSize). The block partition fixes the floating-point
+// summation order of the per-pattern log-likelihoods, so two evaluators
+// agree bit-for-bit exactly when their block sizes match: call this only
+// before the first evaluation, with the same value on every run that must
+// reproduce (checkpoint/resume included). Results for any block size
+// agree to floating-point roundoff.
+func (e *Evaluator) SetBlockSize(n int) {
+	if n <= 0 {
+		panic("felsen: SetBlockSize requires a positive block size")
+	}
+	e.blockSize = n
+}
 
 // NSeqs returns the number of sequences.
 func (e *Evaluator) NSeqs() int { return len(e.seqs) }

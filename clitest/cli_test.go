@@ -27,7 +27,15 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	buildArgs := []string{"build"}
+	if raceEnabled {
+		// When the test harness runs under -race, the binaries under test
+		// must too, or the smoke tests prove nothing about the daemon's
+		// concurrency.
+		buildArgs = append(buildArgs, "-race")
+	}
+	buildArgs = append(buildArgs, "-o", binDir, "./cmd/...")
+	build := exec.Command("go", buildArgs...)
 	build.Dir = ".."
 	if out, err := build.CombinedOutput(); err != nil {
 		panic("building CLIs: " + err.Error() + "\n" + string(out))

@@ -1,0 +1,5 @@
+//go:build !race
+
+package clitest
+
+const raceEnabled = false

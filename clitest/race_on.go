@@ -1,0 +1,7 @@
+//go:build race
+
+package clitest
+
+// raceEnabled mirrors the harness's own -race flag so TestMain builds the
+// CLIs under test with the race detector too.
+const raceEnabled = true

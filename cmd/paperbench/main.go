@@ -27,7 +27,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +54,8 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the run's measured speedup/time points to this file as machine-readable JSON (the BENCH_*.json trajectory)")
 		guardPath   = flag.String("guard", "", "compare measured §6 speedups against the baselines in this generated Markdown file (typically EXPERIMENTS.md) and exit non-zero below the floor")
 		guardFactor = flag.Float64("guard-factor", 0.7, "speedup floor as a fraction of the committed baseline (absorbs runner noise)")
+		comparePath = flag.String("compare", "", "directory of committed BENCH_*.json snapshots (typically the repo root): print the per-experiment speedup trajectory and exit non-zero if this run regressed against the latest snapshot")
+		compareFact = flag.Float64("compare-factor", 0.7, "trajectory floor as a fraction of the latest snapshot's speedup (absorbs runner noise)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
@@ -90,12 +91,14 @@ func main() {
 		"nested":       runNested,
 		"growth":       runGrowth,
 		"seqlen-full":  runSeqLenFull,
+		"service":      runService,
 	}
 	// seqlen-full always runs the paper-scale workload, so "all" leaves it
 	// out; select it explicitly when regenerating the full-scale table.
 	order := []string{
 		"accuracy", "samples", "sequences", "seqlen", "curve", "burnin",
-		"multichain", "batch", "tempering", "proposalsize", "nested", "growth",
+		"multichain", "batch", "tempering", "service", "proposalsize",
+		"nested", "growth",
 	}
 	var names []string
 	if *experiment == "all" {
@@ -141,32 +144,22 @@ func main() {
 	if *guardPath != "" {
 		runGuard(*guardPath, *guardFactor)
 	}
+	if *comparePath != "" {
+		runCompare(*comparePath, *compareFact)
+	}
 }
 
-// benchSnapshot is the schema of a -json snapshot: one file per run,
-// committed as BENCH_<pr>.json at the repository root, forming the
-// machine-readable performance trajectory across PRs.
-type benchSnapshot struct {
-	Schema      string                                `json:"schema"`
-	GeneratedAt string                                `json:"generated_at"`
-	Scale       string                                `json:"scale"`
-	Workers     int                                   `json:"workers"` // 0 = all cores
-	GOMAXPROCS  int                                   `json:"gomaxprocs"`
-	Seed        uint64                                `json:"seed"` // 0 = default
-	Experiments []string                              `json:"experiments"`
-	Speedups    map[string][]experiments.SpeedupPoint `json:"speedups"`
-}
-
-// writeJSON dumps the run's measured speedup points as indented JSON.
-// Only experiments that measure serial-vs-parallel pairs contribute;
-// a run that selected none still writes a valid (empty) snapshot.
+// writeJSON dumps the run's measured speedup points as an indented
+// experiments.BenchSnapshot. Only experiments that measure
+// serial-vs-parallel pairs contribute; a run that selected none still
+// writes a valid (empty) snapshot.
 func writeJSON(path string, names []string, c experiments.Common) error {
 	scale := string(c.Scale)
 	if scale == "" {
 		scale = string(experiments.ScaleQuick)
 	}
-	snap := benchSnapshot{
-		Schema:      "mpcgs-paperbench/v1",
+	snap := experiments.BenchSnapshot{
+		Schema:      experiments.SnapshotSchema,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Scale:       scale,
 		Workers:     c.Workers,
@@ -175,11 +168,37 @@ func writeJSON(path string, names []string, c experiments.Common) error {
 		Experiments: names,
 		Speedups:    measuredSpeedups,
 	}
-	data, err := json.MarshalIndent(snap, "", "  ")
+	return snap.Write(path)
+}
+
+// runCompare is the CI bench-trajectory gate: print the per-experiment
+// speedup trajectory across every committed BENCH_*.json, then compare
+// this run's fresh measurements against the latest snapshot and exit
+// non-zero on a regression past the floor. A run that measured nothing
+// comparable also fails — a trajectory check that checked zero points
+// checked nothing.
+func runCompare(dir string, factor float64) {
+	snaps, err := experiments.LoadSnapshots(dir)
 	if err != nil {
-		return err
+		fatalf("bench-trajectory: %v", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if len(snaps) == 0 {
+		fatalf("bench-trajectory: no BENCH_*.json snapshots in %s", dir)
+	}
+	experiments.FormatTrajectory(os.Stdout, snaps)
+	latest := snaps[len(snaps)-1]
+	checked, violations := experiments.CompareSnapshot(measuredSpeedups, latest, factor)
+	if checked == 0 {
+		fatalf("bench-trajectory: no measured point matched %s (run an experiment the snapshot covers, e.g. seqlen)", latest.File)
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "bench-trajectory: FAIL %s\n", v)
+	}
+	if len(violations) > 0 {
+		fatalf("bench-trajectory: %d of %d points regressed past %.0f%% of %s", len(violations), checked, factor*100, latest.File)
+	}
+	fmt.Printf("bench-trajectory: OK, %d points within %.0f%% of %s across %d snapshots\n",
+		checked, factor*100, latest.File, len(snaps))
 }
 
 // writeMemProfile writes a heap profile at process exit (after a GC, so
@@ -360,6 +379,25 @@ func runBatch(w io.Writer, c experiments.Common) error {
 		fmt.Fprintf(w, "%-6d %-12.3f %-12.3f %-14.2f %-14.2f %-10.2f\n",
 			p.Jobs, p.SerialSec, p.BatchSec, p.SerialJobsPerS, p.BatchJobsPerS, p.Speedup)
 	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runService(w io.Writer, c experiments.Common) error {
+	fmt.Fprintln(w, "=== Service mode: mpcgsd synthetic many-client throughput and latency ===")
+	pts, err := experiments.ServiceThroughput(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-6s %-10s %-10s %-10s %-10s\n",
+		"clients", "jobs", "wall (s)", "jobs/s", "p50 (ms)", "p95 (ms)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %-6d %-10.3f %-10.2f %-10.0f %-10.0f\n",
+			p.Clients, p.Jobs, p.WallSec, p.JobsPerSec, p.P50Ms, p.P95Ms)
+	}
+	fmt.Fprintln(w, "each client submits jobs over HTTP and polls to completion; jobs are")
+	fmt.Fprintln(w, "the batch experiment's quick-scale workload, so the delta against the")
+	fmt.Fprintln(w, "batch rows is the cost of the HTTP shell and the durable job journal.")
 	fmt.Fprintln(w)
 	return nil
 }

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mpcgs/internal/phylip"
+	"mpcgs/internal/seqgen"
+	"mpcgs/internal/serve"
+)
+
+// ServicePoint is one row of the service experiment: C synthetic clients
+// hammering one mpcgsd engine over real HTTP, each submitting a stream
+// of quick-scale estimation jobs and polling them to completion.
+type ServicePoint struct {
+	Clients int
+	Jobs    int
+	// WallSec is the makespan from first submission to last completion.
+	WallSec float64
+	// JobsPerSec is the aggregate completion throughput.
+	JobsPerSec float64
+	// P50Ms and P95Ms are per-job submit-to-done latency percentiles.
+	P50Ms float64
+	P95Ms float64
+}
+
+// ServiceThroughput runs the estimation-as-a-service experiment: for
+// each client count, a fresh serve.Server is stood up on a loopback
+// listener with its own state directory, and C clients concurrently
+// submit and await jobsPerClient jobs each. The jobs are the batch
+// experiment's quick-scale workload, so the service rows are comparable
+// to the batch-scheduler rows: what the HTTP shell and durable journal
+// cost on top of raw scheduling.
+func ServiceThroughput(c Common) ([]ServicePoint, error) {
+	clientCounts := []int{1, 2, 4, 8}
+	nSeq, seqLen, burnin, samples := 8, 120, 100, 800
+	jobsPerClient := 2
+	if c.Scale == ScalePaper {
+		clientCounts = []int{1, 2, 4, 8, 16}
+		burnin, samples = 500, 5000
+	}
+
+	var out []ServicePoint
+	for _, clients := range clientCounts {
+		pt, err := serviceRow(c, clients, jobsPerClient, nSeq, seqLen, burnin, samples)
+		if err != nil {
+			return nil, fmt.Errorf("service experiment, %d clients: %w", clients, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func serviceRow(c Common, clients, jobsPerClient, nSeq, seqLen, burnin, samples int) (ServicePoint, error) {
+	var pt ServicePoint
+	state, err := os.MkdirTemp("", "mpcgs-service-bench-")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(state)
+
+	total := clients * jobsPerClient
+	srv, err := serve.New(serve.Options{
+		StateDir: state,
+		Workers:  c.workers(),
+		// The backlog must admit the whole synthetic burst: this row
+		// measures throughput, not load shedding.
+		MaxJobs: total + 1,
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return pt, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Pre-simulate every client's datasets so data generation does not
+	// pollute the measured window.
+	type submission struct {
+		name string
+		body []byte
+	}
+	subs := make([][]submission, clients)
+	for cl := 0; cl < clients; cl++ {
+		subs[cl] = make([]submission, jobsPerClient)
+		for j := 0; j < jobsPerClient; j++ {
+			idx := cl*jobsPerClient + j
+			aln, err := simulateAlignment(nSeq, seqLen, c.seed()+uint64(100*idx))
+			if err != nil {
+				return pt, err
+			}
+			var phy bytes.Buffer
+			if err := phylip.Write(&phy, aln); err != nil {
+				return pt, err
+			}
+			body, err := json.Marshal(map[string]any{
+				"name":          fmt.Sprintf("c%dj%d", cl, j),
+				"tenant":        fmt.Sprintf("client%d", cl),
+				"phylip":        phy.String(),
+				"theta":         1.0,
+				"sampler":       "gmh",
+				"burnin":        burnin,
+				"samples":       samples,
+				"em_iterations": 1,
+				"seed":          c.seed() + uint64(1000*idx),
+			})
+			if err != nil {
+				return pt, err
+			}
+			subs[cl][j] = submission{name: fmt.Sprintf("c%dj%d", cl, j), body: body}
+		}
+	}
+
+	latencies := make([]float64, 0, total)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for _, sub := range subs[cl] {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(sub.body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var view struct {
+					ID    string `json:"id"`
+					Error string `json:"error"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusAccepted {
+					errCh <- fmt.Errorf("submit %s: HTTP %d: %s", sub.name, resp.StatusCode, view.Error)
+					return
+				}
+				if err := awaitJob(client, base, view.ID); err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0).Seconds()*1000)
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return pt, err
+	}
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	return ServicePoint{
+		Clients:    clients,
+		Jobs:       total,
+		WallSec:    wall,
+		JobsPerSec: float64(total) / wall,
+		P50Ms:      pct(0.50),
+		P95Ms:      pct(0.95),
+	}, nil
+}
+
+// awaitJob polls a job's status until it settles.
+func awaitJob(client *http.Client, base, id string) error {
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("poll %s: HTTP %d: %s", id, resp.StatusCode, view.Error)
+		}
+		switch view.Status {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", id, view.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// simulateAlignment simulates one client dataset (the §6.1 substrate).
+func simulateAlignment(nSeq, seqLen int, seed uint64) (*phylip.Alignment, error) {
+	aln, _, err := seqgen.SimulateData(nSeq, seqLen, 1.0, seed)
+	return aln, err
+}

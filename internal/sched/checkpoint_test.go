@@ -318,6 +318,13 @@ func TestLoadManifestRejectsDuplicatesAndBadCounts(t *testing.T) {
 			]}`,
 			"share the name",
 		},
+		"checkpoint key collision": {
+			`{"jobs": [
+				{"name": "pop A", "phylip": "pop.phy", "theta": 1},
+				{"name": "Pop_a", "phylip": "pop.phy", "theta": 1}
+			]}`,
+			"same checkpoint key",
+		},
 		"zero chains": {
 			`{"jobs": [{"name": "x", "phylip": "pop.phy", "theta": 1, "chains": 0}]}`,
 			"chain count 0",

@@ -58,6 +58,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -96,6 +97,7 @@ func main() {
 		quiet      = flag.Bool("q", false, "print only the final estimate")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		tracePath  = flag.String("trace", "", "write a runtime/trace of the run to this file (inspect with go tool trace)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mpcgs [flags] <seqdata.phy> <initial-theta>\n")
@@ -114,6 +116,17 @@ func main() {
 			fatalf("-cpuprofile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("-trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fatalf("-trace: %v", err)
+		}
+		defer trace.Stop()
 	}
 	defer writeMemProfile(*memProfile)
 	// The tempering flags only mean something on the heated sampler (and

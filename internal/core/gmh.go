@@ -46,6 +46,13 @@ type GMH struct {
 	// forgoes the delta-evaluation cache, since the site kernel evaluates
 	// from scratch.
 	NestedSiteParallelism bool
+	// PerCandidate forces the pre-wave dispatch: each candidate's
+	// likelihood evaluated by its own device thread through
+	// LogLikelihoodDelta instead of the round's fused
+	// (proposal × pattern-block) wave grid. The two paths are bit-identical
+	// (the equivalence suite pins this), so the toggle exists as the wave's
+	// oracle and for A/B benchmarks, not as a semantic switch.
+	PerCandidate bool
 }
 
 // NewGMH builds the multiple-proposal sampler with N proposals per round
@@ -83,6 +90,12 @@ type gmhRun struct {
 	ages  [][]float64
 	cur   int // index of the current state within the set
 	cache *felsen.DeltaCache
+
+	// wave is the fused round evaluator (nil on the per-candidate and
+	// nested-site paths); waveTrees is its slot-indexed input, rebuilt
+	// every round with nil for the current state and failed candidates.
+	wave      *felsen.Wave
+	waveTrees []*gtree.Tree
 
 	rec *recorder
 	out *SampleSet
@@ -152,6 +165,14 @@ func (g *GMH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	} else {
 		r.cache = g.eval.NewDeltaCache()
 		r.logw[r.cur] = g.eval.Rebase(r.cache, r.set[r.cur])
+		if !g.PerCandidate {
+			// Wave evaluation: the whole candidate set's likelihoods as one
+			// fused (proposal × pattern-block) grid against a per-round
+			// outer-partial lift of the shared root path. Bit-identical to
+			// the per-candidate dispatch.
+			r.wave = g.eval.NewWave(r.cache)
+			r.waveTrees = make([]*gtree.Tree, n+1)
+		}
 	}
 	r.ages[r.cur] = r.set[r.cur].CoalescentAgesInto(r.ages[r.cur])
 	r.stats[r.cur] = sumKKTFromAges(init.NTips(), r.ages[r.cur])
@@ -165,7 +186,9 @@ func (g *GMH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	// Proposal kernel: one device thread per candidate (§5.2.1). The
 	// thread owning the current state stays idle, exactly as the paper
 	// notes for the generator's thread. The closure is built once; phi,
-	// cur and slots are rebound per round before the launch.
+	// cur and slots are rebound per round before the launch. On the wave
+	// path the kernel only resimulates and summarizes — the likelihoods of
+	// the whole set are computed afterwards as one fused grid.
 	r.slots = make([]int, 0, n)
 	r.kernel = func(tid int) {
 		i := r.slots[tid]
@@ -179,14 +202,17 @@ func (g *GMH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 			return
 		}
 		r.errs[tid] = nil
-		if r.cache != nil {
+		switch {
+		case r.wave != nil:
+			// Evaluated by the wave grid after the launch completes.
+		case r.cache != nil:
 			// Read-only delta evaluation: with N candidates a round and
 			// at most one winner, evaluating without staging and paying
 			// one incremental RebaseTo for the chosen slot is cheaper
 			// than staging all N (the single-proposal engine chains make
 			// the opposite trade through StageDelta).
 			r.logw[i] = g.eval.LogLikelihoodDelta(r.cache, p)
-		} else {
+		default:
 			r.logw[i] = g.eval.LogLikelihood(p)
 		}
 		r.ages[i] = p.CoalescentAgesInto(r.ages[i])
@@ -214,6 +240,22 @@ func (r *gmhRun) Step() error {
 		if err != nil {
 			r.res.FailedProposals++
 		}
+	}
+	if r.wave != nil {
+		// Wave evaluation: lift the shared root path once for this round's
+		// φ, then one fused (proposal × pattern-block) grid over every
+		// candidate that resimulated successfully. Failed candidates and
+		// the current state keep their logw (NegInf and the cached value).
+		r.wave.BindRound(r.phi)
+		for tid, i := range r.slots {
+			if r.errs[tid] != nil {
+				r.waveTrees[i] = nil
+			} else {
+				r.waveTrees[i] = r.set[i]
+			}
+		}
+		r.waveTrees[r.cur] = nil
+		r.wave.Eval(r.waveTrees, r.logw)
 	}
 
 	// Sampling stage: draw from the index chain's stationary

@@ -299,6 +299,57 @@ func SpeedupVsSeqLenFull(c Common) ([]SpeedupPoint, error) {
 	return SpeedupVsSeqLen(c)
 }
 
+// GMHWaveRound measures the wave-fusion acceptance points: GMH sampling
+// with a fixed N = 8 proposal set on 32-taxon data at 1000bp and 4000bp,
+// timing the per-candidate dispatch (each candidate's likelihood as its
+// own delta evaluation — the pre-wave path, kept as GMH.PerCandidate)
+// against the fused (proposal × pattern-block) wave grid with the
+// per-round outer-partial lift. Both runs use the same seed and produce
+// bit-identical traces, so the ratio is pure dispatch cost. The point
+// reuses SpeedupPoint with SerialSec = per-candidate and ParallelSec =
+// wave. 32 taxa is the design point: the lift amortizes the shared root
+// path above the resimulated neighbourhood, which 12-taxon genealogies
+// rarely make deep enough to matter.
+func GMHWaveRound(c Common) ([]SpeedupPoint, error) {
+	lengths := []int{1000, 4000}
+	nSeq, proposals := 32, 8
+	burnin, samples := 50, 400
+	if c.Scale == ScalePaper {
+		burnin, samples = 200, 2000
+	}
+	dev := device.New(c.workers())
+	defer dev.Close()
+	var out []SpeedupPoint
+	for _, L := range lengths {
+		aln, _, err := seqgen.SimulateData(nSeq, L, 1.0, c.seed()+uint64(L))
+		if err != nil {
+			return nil, err
+		}
+		eval, err := buildEvaluator(aln, dev)
+		if err != nil {
+			return nil, err
+		}
+		perCand := core.NewGMH(eval, dev, proposals)
+		perCand.PerCandidate = true
+		tPC, err := timedRun(perCand, aln, 1.0, burnin, samples, c.seed()+41)
+		if err != nil {
+			return nil, err
+		}
+		wave := core.NewGMH(eval, dev, proposals)
+		tWave, err := timedRun(wave, aln, 1.0, burnin, samples, c.seed()+41)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SpeedupPoint{
+			Param:       L,
+			SerialSec:   tPC,
+			ParallelSec: tWave,
+			Speedup:     tPC / tWave,
+		})
+	}
+	return out, nil
+}
+
 // CurveResult reproduces Fig. 5: the relative log-likelihood curve from a
 // single sampling pass driven far below the true θ.
 type CurveResult struct {

@@ -25,6 +25,7 @@ var guardSections = map[string]string{
 	"speedup vs number of sequences":         "sequences",
 	"speedup vs sequence length":             "seqlen",
 	"sequence-length sweep at paper scale":   "seqlen-full",
+	"wave rounds vs per-candidate dispatch":  "gmhround",
 }
 
 // ParseBaselines extracts the speedup tables from a generated
@@ -104,7 +105,7 @@ func (v GuardViolation) String() string {
 // number of points actually compared, so a caller can refuse to treat a
 // vacuous run (nothing measured, nothing compared) as a pass.
 func CheckSpeedupFloor(measured map[string][]SpeedupPoint, base Baselines, factor float64) (checked int, violations []GuardViolation) {
-	for _, name := range []string{"samples", "sequences", "seqlen", "seqlen-full"} {
+	for _, name := range []string{"samples", "sequences", "seqlen", "seqlen-full", "gmhround"} {
 		ref := base[name]
 		if ref == nil {
 			continue

@@ -23,7 +23,7 @@ type BenchSnapshot struct {
 	Schema      string                    `json:"schema"`
 	GeneratedAt string                    `json:"generated_at"`
 	Scale       string                    `json:"scale"`
-	Workers     int                       `json:"workers"` // 0 = all cores
+	Workers     int                       `json:"workers"` // effective device parallelism of the run
 	GOMAXPROCS  int                       `json:"gomaxprocs"`
 	Seed        uint64                    `json:"seed"` // 0 = default
 	Experiments []string                  `json:"experiments"`

@@ -42,6 +42,7 @@ type Evaluator struct {
 	pool      sync.Pool // *scratch
 	blockPool sync.Pool // *blockScratch
 	deltaPool sync.Pool // *deltaScratch
+	wavePool  sync.Pool // *waveScratch
 
 	// Site-pattern compression for the delta path (see delta.go): distinct
 	// alignment columns, their multiplicities, and per-tip base codes
@@ -124,6 +125,15 @@ func New(model subst.Model, aln *phylip.Alignment, dev *device.Device) (*Evaluat
 		// launching blocks allocates nothing on the hot path.
 		ds.kernel = ds.runBlock
 		return ds
+	}
+	e.wavePool.New = func() any {
+		// Sized at Get time so a SetBlockSize before the first evaluation
+		// is honored; one working row (four state lanes plus the scale
+		// lane) per concurrent wave cell.
+		return &waveScratch{
+			cond:  make([]float64, nStates*e.blockSize),
+			scale: make([]float64, e.blockSize),
+		}
 	}
 	e.compressPatterns()
 	return e, nil

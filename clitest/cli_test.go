@@ -515,7 +515,7 @@ func TestMpcgsInspect(t *testing.T) {
 
 	out := run(t, "mpcgs", "", "-inspect", dir)
 	for _, want := range []string{
-		"format v2, 3 jobs",
+		"format v3, 3 jobs",
 		"finished", "done", "theta = 1.5",
 		"broken", "failed", "pathological theta",
 		"midflight", "paused", "sampler heated at transition 75",

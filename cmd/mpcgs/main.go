@@ -36,8 +36,18 @@
 //	mpcgs -inspect ckpt/
 //
 // prints every job's status from a checkpoint directory — progress,
-// estimates, and the temperature ladder of paused heated runs — without
-// resuming anything.
+// estimates, trace-sidecar state (durable draws, online ESS/R-hat), and
+// the temperature ladder of paused heated runs — without resuming
+// anything.
+//
+// Convergence auto-stop ends each sampling pass early once the online
+// diagnostics reach declared targets, freeing workers for the rest of
+// the batch:
+//
+//	mpcgs -checkpoint ckpt/ -ess-target 200 -rhat-target 1.05 seqs.phy 1.0
+//
+// (per-job ess_target/rhat_target fields do the same in batch manifests
+// and the mpcgsd job API).
 //
 // The heated (MC³) sampler's ladder is tuned with -chains, -max-temp,
 // -swap-every and, for hard posteriors, -adapt-ladder: during burn-in
@@ -69,6 +79,7 @@ import (
 	"mpcgs/internal/device"
 	"mpcgs/internal/phylip"
 	"mpcgs/internal/sched"
+	sidecar "mpcgs/internal/trace"
 )
 
 func main() {
@@ -82,6 +93,8 @@ func main() {
 		swapEvery  = flag.Int("swap-every", 0, "within-chain steps between heated swap attempts (0 = 1)")
 		adapt      = flag.Bool("adapt-ladder", false, "adapt the heated temperature ladder toward uniform per-pair swap rates during burn-in, then freeze it")
 		swapWindow = flag.Int("swap-window", 0, "sliding-window size for per-pair swap-rate tracking (0 = 64)")
+		essTarget  = flag.Float64("ess-target", 0, "end each sampling pass once the online effective sample size reaches this target (0 = off; requires -checkpoint)")
+		rhatTarget = flag.Float64("rhat-target", 0, "additionally require the online split R-hat to fall to this target, must exceed 1 (0 = off; requires -checkpoint)")
 		burnin     = flag.Int("burnin", 1000, "burn-in draws per EM iteration")
 		samples    = flag.Int("samples", 10000, "recorded draws per EM iteration")
 		emIters    = flag.Int("em-iterations", 10, "maximum EM iterations")
@@ -149,6 +162,14 @@ func main() {
 			fatalf("-chains is only meaningful with -sampler heated or multichain (got %q)", *sampler)
 		}
 	}
+	if *essTarget != 0 || *rhatTarget != 0 {
+		if *batch != "" {
+			fatalf("-ess-target/-rhat-target do not apply to -batch; set ess_target/rhat_target per job in the manifest")
+		}
+		if *ckptDir == "" && *resumeDir == "" {
+			fatalf("-ess-target/-rhat-target require -checkpoint: the stop rule rides the checkpointable scheduler path (its streaming recorder keeps the online diagnostics)")
+		}
+	}
 	if *inspectDir != "" {
 		if flag.NArg() != 0 {
 			flag.Usage()
@@ -200,6 +221,8 @@ func main() {
 		job.SwapEvery = *swapEvery
 		job.AdaptLadder = *adapt
 		job.SwapWindow = *swapWindow
+		job.ESSTarget = *essTarget
+		job.RHatTarget = *rhatTarget
 		if !*quiet {
 			fmt.Printf("mpcgs: %d sequences x %d bp, sampler=%s model=%s (checkpointing to %s)\n",
 				job.Alignment.NSeq(), job.Alignment.SeqLen(), *sampler, *model, *ckptDir)
@@ -370,12 +393,19 @@ func runBatch(jobs []sched.Job, workers int, ckptDir string, ckptEvery int, resu
 				printSwapReport(r.LastRun.Betas, r.LastRun.EstPairSwapAttempts, r.LastRun.EstPairSwaps,
 					r.LastRun.LadderAdapted, r.LastRun.LadderAdaptations)
 			}
+			if !quiet && r.LastRun != nil && r.LastRun.StoppedEarly {
+				fmt.Printf("  auto-stop: final pass ended early at online ESS %.1f, R-hat %.3f\n",
+					r.LastRun.StopESS, r.LastRun.StopRHat)
+			}
 			fmt.Printf("theta = %.6g\n", r.Theta)
 			continue
 		}
 		note := ""
 		if r.Resumed {
 			note = " [restored from checkpoint]"
+		}
+		if r.Converged {
+			note += " [converged early]"
 		}
 		fmt.Printf("job %-16s theta = %-10.6g (%d EM iterations, %d steps)%s\n",
 			r.Name, r.Theta, len(r.History), r.Steps, note)
@@ -446,12 +476,18 @@ func inspect(w io.Writer, dir string) error {
 			fmt.Fprintf(w, "job %-16s paused  EM iteration %d, driving theta = %s, %d steps, %d EM rounds done\n",
 				j.Name, j.EM.It+1, hexOrRaw(j.EM.Theta), j.Steps, len(j.EM.History))
 			if a := j.EM.Active; a != nil {
-				trace := 0
+				drawn := 0
 				if a.Trace != nil {
-					trace = a.Trace.N
+					drawn = a.Trace.N
+				}
+				if a.TraceRef != nil {
+					drawn = a.TraceRef.Draws - a.TraceRef.PassDraws
 				}
 				fmt.Fprintf(w, "  mid-pass: sampler %s at transition %d, %d draws recorded\n",
-					a.Sampler, a.Step, trace)
+					a.Sampler, a.Step, drawn)
+				if a.TraceRef != nil {
+					inspectSidecar(w, dir, j.Name, a.TraceRef)
+				}
 				if a.Ladder != nil {
 					inspectLadder(w, a.Ladder)
 				}
@@ -459,6 +495,43 @@ func inspect(w io.Writer, dir string) error {
 		}
 	}
 	return nil
+}
+
+// inspectSidecar renders a paused job's streaming-trace state: the
+// durable offsets its snapshot pins, the online convergence diagnostics
+// recorded with them, and — when the sidecar file itself is reachable —
+// the file's actual frame chain, including any torn tail a crash left
+// (a resume truncates it; it never corrupts the durable draws).
+func inspectSidecar(w io.Writer, dir, name string, ref *ckpt.TraceRef) {
+	fmt.Fprintf(w, "  trace sidecar: %d draws durable at byte offset %d (%d in the current pass)",
+		ref.Draws, ref.Offset, ref.Draws-ref.PassDraws)
+	if ref.ESS != "" {
+		fmt.Fprintf(w, ", online ESS %s", hexOrRaw(ref.ESS))
+	}
+	if ref.RHat != "" {
+		fmt.Fprintf(w, ", R-hat %s", hexOrRaw(ref.RHat))
+	}
+	if ref.Stopped {
+		fmt.Fprintf(w, " — stop target reached")
+	}
+	fmt.Fprintln(w)
+	// The checkpoint records the path the run was configured with; an
+	// inspect from another working directory falls back to the sidecar's
+	// canonical place inside the checkpoint directory itself.
+	path := ref.Path
+	if _, err := os.Stat(path); path == "" || err != nil {
+		path = filepath.Join(dir, sched.CheckpointKey(name)+".trace")
+	}
+	info, err := sidecar.Stat(path)
+	if err != nil {
+		fmt.Fprintf(w, "    file %s: unreadable (%v)\n", path, err)
+		return
+	}
+	fmt.Fprintf(w, "    file %s: %d frames, %d draws, %d durable bytes", path, info.Frames, info.Draws, info.DurableBytes)
+	if info.Torn() {
+		fmt.Fprintf(w, " (+%d bytes of torn tail a resume will truncate)", info.FileBytes-info.DurableBytes)
+	}
+	fmt.Fprintln(w)
 }
 
 // inspectLadder renders a checkpointed temperature ladder: the schedule

@@ -15,6 +15,14 @@
 //
 // Wire structs carry floats as strings (hex floats) or base64 blobs; the
 // codec helpers are the only door.
+//
+// The trace sidecar (internal/trace) is the second wire layer with the
+// same contract: draws cross as raw IEEE-754 bit patterns
+// (math.Float64bits through the binary frame codec), and a v3 checkpoint
+// references the sidecar through hex-float fields (ckpt.TraceRef). The
+// analyzer applies the identical rules there — a float that reached fmt
+// or a decimal strconv verb in the sidecar package would corrupt the
+// stream exactly as it would a checkpoint.
 package exactfloat
 
 import (
@@ -27,9 +35,10 @@ import (
 	"mpcgs/internal/analysis"
 )
 
-// TargetSuffix selects the checkpoint package (suffix-matched so fixture
-// packages can stand in for the real one).
-const TargetSuffix = "internal/ckpt"
+// TargetSuffixes select the wire-format packages (suffix-matched so
+// fixture packages can stand in for the real ones): the checkpoint
+// codec and the trace sidecar.
+var TargetSuffixes = []string{"internal/ckpt", "internal/trace"}
 
 // Analyzer is the checkpoint float-exactness checker.
 var Analyzer = &analysis.Analyzer{
@@ -40,7 +49,14 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	if !strings.HasSuffix(pass.Pkg.Path(), TargetSuffix) {
+	target := false
+	for _, suffix := range TargetSuffixes {
+		if strings.HasSuffix(pass.Pkg.Path(), suffix) {
+			target = true
+			break
+		}
+	}
+	if !target {
 		return nil
 	}
 	for _, file := range pass.Files {

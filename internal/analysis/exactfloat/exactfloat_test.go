@@ -10,7 +10,8 @@ import (
 
 func TestExactFloat(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{exactfloat.Analyzer},
-		"effix/internal/ckpt", // target: wire rules apply
-		"effix/other",         // outside the checkpoint package: exempt
+		"effix/internal/ckpt",  // target: checkpoint wire rules apply
+		"effix/internal/trace", // target: sidecar wire rules apply
+		"effix/other",          // outside the wire packages: exempt
 	)
 }

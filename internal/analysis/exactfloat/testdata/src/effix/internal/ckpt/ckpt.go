@@ -18,6 +18,25 @@ type Chain struct {
 	Skip    float64   `json:"-"` // explicitly excluded from the wire
 }
 
+// TraceRef mimics the v3 checkpoint's sidecar reference: offsets and
+// counts are integers (exact), diagnostics cross as hex-float strings.
+type TraceRef struct {
+	Path    string `json:"path,omitempty"`
+	Offset  int64  `json:"offset"`
+	Draws   int    `json:"draws"`
+	ESS     string `json:"ess,omitempty"`  // hex float: exact
+	RHat    string `json:"rhat,omitempty"` // hex float: exact
+	Stopped bool   `json:"stopped,omitempty"`
+}
+
+// badTraceRef is the non-compliant variant: diagnostics as raw floats
+// would round-trip through decimal text.
+type badTraceRef struct {
+	Offset int64   `json:"offset"`
+	ESS    float64 `json:"ess"`  // want `raw float field in marshaled struct badTraceRef`
+	RHat   float64 `json:"rhat"` // want `raw float field in marshaled struct badTraceRef`
+}
+
 // runtimeState has no json tags anywhere: an in-memory struct, floats are
 // fine.
 type runtimeState struct {

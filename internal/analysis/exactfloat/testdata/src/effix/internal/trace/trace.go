@@ -1,0 +1,48 @@
+// Package trace is the exactfloat analyzer's sidecar fixture: the trace
+// wire layer carries draws as raw IEEE-754 bit patterns, so the same
+// decimal-rendering rules apply as in the checkpoint codec.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// frameHeader mimics a sidecar index record someone might add: json tags
+// put its exported fields on a wire, so raw floats flag.
+type frameHeader struct {
+	Offset int64   `json:"offset"`
+	Stat   float64 `json:"stat"` // want `raw float field in marshaled struct frameHeader`
+	ESS    string  `json:"ess"`  // hex float: exact
+}
+
+// drawBuf is in-memory working state with no json tags anywhere: floats
+// are fine.
+type drawBuf struct {
+	Stat float64
+	Ages []float64
+}
+
+// putDraw is the compliant wire path: bit patterns through the binary
+// codec, never text.
+func putDraw(dst []byte, f float64) {
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(f))
+}
+
+func describeLossy(f float64) string {
+	return fmt.Sprintf("stat=%g", f) // want `float formatted through fmt.Sprintf`
+}
+
+func formatLossy(f float64) string {
+	return strconv.FormatFloat(f, 'e', -1, 64) // want `strconv.FormatFloat with verb 'e'`
+}
+
+func formatExact(f float64) string {
+	return strconv.FormatFloat(f, 'x', -1, 64)
+}
+
+func reportFrames(n int) string {
+	return fmt.Sprintf("%d frames", n) // ints are exact: fine
+}

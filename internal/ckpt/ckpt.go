@@ -48,12 +48,18 @@ import (
 //	2 — heated snapshots carry the temperature-ladder controller state
 //	    (adapted β schedule, per-pair swap windows, adaptation clock),
 //	    which adaptive MC³ makes runtime state.
+//	3 — step snapshots of spilling runs carry a sidecar trace reference
+//	    (trace_ref: durable offset and draw counts into the append-only
+//	    trace file) instead of the inline trace, making checkpoint size
+//	    independent of how many draws the run has recorded.
 //
 // Load accepts MinFormatVersion through FormatVersion: a version-1 file
 // simply carries no ladder state, which is fine for non-adaptive runs
 // (their ladder is recomputed exactly on restore) and rejected — at
-// restore time, with a clear error — for adaptive ones.
-const FormatVersion = 2
+// restore time, with a clear error — for adaptive ones. Version-1 and
+// version-2 files carry inline traces, which restore replays into
+// whatever recorder mode the resuming run is configured with.
+const FormatVersion = 3
 
 // MinFormatVersion is the oldest checkpoint format this build still
 // loads.
@@ -132,6 +138,11 @@ type Step struct {
 	Chains  []Chain    `json:"chains,omitempty"`
 	Ladder  *Ladder    `json:"ladder,omitempty"`
 	Trace   *Trace     `json:"trace,omitempty"`
+	// TraceRef replaces Trace for spilling runs (format version 3): the
+	// draws live in the append-only sidecar file and the snapshot
+	// carries only the durable offsets locating them. At most one of
+	// Trace and TraceRef is set.
+	TraceRef *TraceRef `json:"trace_ref,omitempty"`
 
 	Accepted        int `json:"accepted,omitempty"`
 	Proposals       int `json:"proposals,omitempty"`
@@ -195,6 +206,25 @@ type Trace struct {
 	Stats  string `json:"stats"`
 	Ages   string `json:"ages"`
 	LogLik string `json:"loglik"`
+}
+
+// TraceRef is the wire form of core.TraceRef: a reference into the
+// append-only trace sidecar instead of an inline copy of the draws.
+// Offsets are bytes, not draws; both always land on durable frame
+// boundaries (the recorder flushes before snapshotting). ESS and RHat
+// are hexadecimal floats — RHat is legitimately NaN before the online
+// diagnostics have enough batches, which plain JSON numbers cannot
+// carry.
+type TraceRef struct {
+	Path       string `json:"path,omitempty"`
+	NAges      int    `json:"n_ages"`
+	Offset     int64  `json:"offset"`
+	Draws      int    `json:"draws"`
+	PassOffset int64  `json:"pass_offset"`
+	PassDraws  int    `json:"pass_draws"`
+	ESS        string `json:"ess,omitempty"`
+	RHat       string `json:"rhat,omitempty"`
+	Stopped    bool   `json:"stopped,omitempty"`
 }
 
 // Path returns the checkpoint file path inside dir.

@@ -204,7 +204,10 @@ func TestStepSnapshotWireRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		snap := run.(core.SnapshotStepper).Snapshot()
+		snap, snapErr := run.(core.SnapshotStepper).Snapshot()
+		if snapErr != nil {
+			t.Fatal(snapErr)
+		}
 		data, err := json.Marshal(EncodeStep(snap))
 		if err != nil {
 			t.Fatal(err)
@@ -289,7 +292,10 @@ func TestAdaptiveLadderWireRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		snap := run.(core.SnapshotStepper).Snapshot()
+		snap, snapErr := run.(core.SnapshotStepper).Snapshot()
+		if snapErr != nil {
+			t.Fatal(snapErr)
+		}
 		if snap.Ladder == nil {
 			t.Fatal("heated snapshot carries no ladder state")
 		}

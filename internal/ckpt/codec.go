@@ -340,6 +340,63 @@ func DecodeTrace(w *Trace) (*core.TraceSnapshot, error) {
 	return t, nil
 }
 
+// EncodeTraceRef converts a sidecar trace reference to wire form.
+func EncodeTraceRef(r *core.TraceRef) *TraceRef {
+	if r == nil {
+		return nil
+	}
+	return &TraceRef{
+		Path:       r.Path,
+		NAges:      r.NAges,
+		Offset:     r.Offset,
+		Draws:      r.Draws,
+		PassOffset: r.PassOffset,
+		PassDraws:  r.PassDraws,
+		ESS:        hexFloat(r.ESS),
+		RHat:       hexFloat(r.RHat),
+		Stopped:    r.Stopped,
+	}
+}
+
+// DecodeTraceRef converts a wire sidecar reference back. Offset
+// consistency against the actual sidecar file is the recorder's restore
+// job; here only the encodings and obvious invariants are checked.
+func DecodeTraceRef(w *TraceRef) (*core.TraceRef, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if w.NAges <= 0 {
+		return nil, fmt.Errorf("ckpt: trace ref with %d ages per draw", w.NAges)
+	}
+	if w.Draws < 0 || w.PassDraws < 0 || w.PassDraws > w.Draws {
+		return nil, fmt.Errorf("ckpt: trace ref draw counts %d/%d inconsistent", w.PassDraws, w.Draws)
+	}
+	if w.Offset < 0 || w.PassOffset < 0 || w.PassOffset > w.Offset {
+		return nil, fmt.Errorf("ckpt: trace ref offsets %d/%d inconsistent", w.PassOffset, w.Offset)
+	}
+	r := &core.TraceRef{
+		Path:       w.Path,
+		NAges:      w.NAges,
+		Offset:     w.Offset,
+		Draws:      w.Draws,
+		PassOffset: w.PassOffset,
+		PassDraws:  w.PassDraws,
+		Stopped:    w.Stopped,
+	}
+	var err error
+	if w.ESS != "" {
+		if r.ESS, err = parseHexFloat(w.ESS); err != nil {
+			return nil, fmt.Errorf("ckpt: trace ref ess: %w", err)
+		}
+	}
+	if w.RHat != "" {
+		if r.RHat, err = parseHexFloat(w.RHat); err != nil {
+			return nil, fmt.Errorf("ckpt: trace ref rhat: %w", err)
+		}
+	}
+	return r, nil
+}
+
 // EncodeStep converts a stepper snapshot to wire form.
 func EncodeStep(s *core.StepSnapshot) *Step {
 	if s == nil {
@@ -351,6 +408,7 @@ func EncodeStep(s *core.StepSnapshot) *Step {
 		Cur:             s.Cur,
 		Ladder:          EncodeLadder(s.Ladder),
 		Trace:           EncodeTrace(s.Trace),
+		TraceRef:        EncodeTraceRef(s.TraceRef),
 		Accepted:        s.Accepted,
 		Proposals:       s.Proposals,
 		FailedProposals: s.FailedProposals,
@@ -421,6 +479,14 @@ func DecodeStep(w *Step) (*core.StepSnapshot, error) {
 		return nil, err
 	}
 	s.Trace = trace
+	ref, err := DecodeTraceRef(w.TraceRef)
+	if err != nil {
+		return nil, err
+	}
+	s.TraceRef = ref
+	if s.Trace != nil && s.TraceRef != nil {
+		return nil, fmt.Errorf("ckpt: step snapshot carries both an inline trace and a sidecar reference")
+	}
 	for i, sub := range w.Subs {
 		dec, err := DecodeStep(sub)
 		if err != nil {

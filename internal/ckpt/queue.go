@@ -65,6 +65,8 @@ type JobSpec struct {
 	SwapEvery    int    `json:"swap_every,omitempty"`
 	AdaptLadder  bool   `json:"adapt_ladder,omitempty"`
 	SwapWindow   int    `json:"swap_window,omitempty"`
+	ESSTarget    string `json:"ess_target,omitempty"`
+	RHatTarget   string `json:"rhat_target,omitempty"`
 }
 
 // HexFloat renders f as an exact hexadecimal float literal — the wire

@@ -115,7 +115,10 @@ func (b *Bayesian) Run(init *gtree.Tree, cfg ChainConfig) (*BayesResult, error) 
 	st := newChainState(b.eval, init, b.SerialEval)
 	theta := cfg.Theta
 
-	rec := newRecorder(init.NTips(), cfg)
+	rec, err := newRecorder(init.NTips(), cfg)
+	if err != nil {
+		return nil, err
+	}
 	total := cfg.Burnin + cfg.Samples
 	res := &BayesResult{Samples: rec.set, Thetas: make([]float64, 0, total)}
 
@@ -144,8 +147,13 @@ func (b *Bayesian) Run(init *gtree.Tree, cfg ChainConfig) (*BayesResult, error) 
 			}
 		}
 
-		rec.recordState(st)
+		if err := rec.recordState(st); err != nil {
+			return nil, err
+		}
 		res.Thetas = append(res.Thetas, theta)
+	}
+	if err := rec.finalize(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

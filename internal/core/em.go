@@ -25,6 +25,14 @@ type EMConfig struct {
 	Tolerance float64
 	// MLE tunes the inner gradient ascent.
 	MLE MLEConfig
+	// Trace streams every pass's draws to the sidecar at Trace.Path
+	// (all iterations append to the same file), keeping the recorder
+	// memory-bounded and checkpoints O(interval).
+	Trace *TraceSpec
+	// ESSTarget/RHatTarget end each sampling pass early once the online
+	// convergence diagnostics reach them; see ChainConfig.
+	ESSTarget  float64
+	RHatTarget float64
 }
 
 func (c *EMConfig) withDefaults() EMConfig {
@@ -169,10 +177,13 @@ func (e *EMRun) Theta() float64 { return e.theta }
 // decorrelating iterations exactly as RunEM always has.
 func (e *EMRun) chainConfig() ChainConfig {
 	return ChainConfig{
-		Theta:   e.theta,
-		Burnin:  e.cfg.Burnin,
-		Samples: e.cfg.Samples,
-		Seed:    e.cfg.Seed + uint64(e.it)*0x9e3779b9,
+		Theta:      e.theta,
+		Burnin:     e.cfg.Burnin,
+		Samples:    e.cfg.Samples,
+		Seed:       e.cfg.Seed + uint64(e.it)*0x9e3779b9,
+		Trace:      e.cfg.Trace,
+		ESSTarget:  e.cfg.ESSTarget,
+		RHatTarget: e.cfg.RHatTarget,
 	}
 }
 

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"mpcgs/internal/felsen"
 	"mpcgs/internal/gtree"
 	"mpcgs/internal/resim"
 	"mpcgs/internal/rng"
+	"mpcgs/internal/stats"
+	"mpcgs/internal/trace"
 )
 
 // chainState is the shared chain engine: the complete working state of one
@@ -187,45 +190,209 @@ func (s *chainState) step(theta float64, src rng.Source) (bool, error) {
 	return false, nil
 }
 
-// recorder appends chain draws to a SampleSet, copying age vectors into
-// one flat arena carved a record at a time — recorded draws never alias a
-// live chain buffer or each other's backing arrays.
+// Auto-stop cadence: the convergence targets are evaluated every
+// stopCheckEvery post-burn-in draws once stopMinDraws of them exist.
+// Both are constants of the draw stream, not of wall time or scheduler
+// quanta, so a resumed run re-evaluates at exactly the same draws and
+// stops at exactly the same point — the bit-identical resume contract
+// extends to the stop decision.
+const (
+	stopCheckEvery = 64
+	stopMinDraws   = 256
+)
+
+// spillFlushBytes bounds the in-memory frame buffer of a spilling
+// recorder between checkpoints: once this many encoded bytes are
+// pending, the recorder flushes a frame mid-interval. Draw contents
+// and durable checkpoint offsets are unaffected — only the physical
+// frame boundaries move — so the bound is free to tune.
+const spillFlushBytes = 1 << 20
+
+// recorder accumulates chain draws. It has two modes:
+//
+//   - In-memory (Trace unset): draws append to a SampleSet, age
+//     vectors copied into one flat arena carved a record at a time —
+//     recorded draws never alias a live chain buffer or each other's
+//     backing arrays.
+//   - Spill (Trace set): draws stream to the append-only sidecar via
+//     trace.Writer and the SampleSet stays empty until finalize reads
+//     the pass back — recorder memory is bounded by the pending frame
+//     buffer and the fixed-size online diagnostics, independent of the
+//     run length.
+//
+// In either mode, when stop targets are configured the post-burn-in
+// stat stream additionally feeds a bounded stats.OnlineDiag, and the
+// recorder flips stopped once the targets are met.
 type recorder struct {
 	set   *SampleSet
 	arena []float64
 	nAges int
+	n     int // draws recorded this pass
+
+	burnin int
+	total  int
+
+	// Spill mode.
+	spill     *trace.Writer
+	passOff   int64 // sidecar durable offset at pass start
+	passDraws int   // sidecar total draw count at pass start
+
+	// Online diagnostics and the auto-stop rule.
+	diag       *stats.OnlineDiag
+	essTarget  float64
+	rhatTarget float64
+	stopped    bool
+	stopESS    float64
+	stopRHat   float64
 }
 
-// newRecorder sizes a SampleSet and its age arena for a run of
-// cfg.Burnin+cfg.Samples draws over nTips-tip genealogies.
-func newRecorder(nTips int, cfg ChainConfig) *recorder {
+// newRecorder builds the recorder for a run of cfg.Burnin+cfg.Samples
+// draws over nTips-tip genealogies, opening (and recovering) the
+// sidecar when cfg spills.
+func newRecorder(nTips int, cfg ChainConfig) (*recorder, error) {
 	total := cfg.Burnin + cfg.Samples
 	nAges := nTips - 1
-	return &recorder{
+	r := &recorder{
 		set: &SampleSet{
 			NTips:  nTips,
 			Theta0: cfg.Theta,
 			Burnin: cfg.Burnin,
-			Stats:  make([]float64, 0, total),
-			Ages:   make([][]float64, 0, total),
-			LogLik: make([]float64, 0, total),
 		},
-		arena: make([]float64, total*nAges),
-		nAges: nAges,
+		nAges:      nAges,
+		burnin:     cfg.Burnin,
+		total:      total,
+		essTarget:  cfg.ESSTarget,
+		rhatTarget: cfg.RHatTarget,
 	}
+	if cfg.Trace != nil {
+		w, err := trace.Open(cfg.Trace.Path, nAges)
+		if err != nil {
+			return nil, fmt.Errorf("core: trace sidecar: %w", err)
+		}
+		r.spill = w
+		r.passOff, r.passDraws = w.Durable()
+		r.diag = stats.NewOnlineDiag(cfg.Trace.Window, cfg.Trace.Subsample)
+		return r, nil
+	}
+	r.set.Stats = make([]float64, 0, total)
+	r.set.Ages = make([][]float64, 0, total)
+	r.set.LogLik = make([]float64, 0, total)
+	r.arena = make([]float64, total*nAges)
+	if r.hasTargets() {
+		r.diag = stats.NewOnlineDiag(0, 0)
+	}
+	return r, nil
 }
 
-// record appends one draw, copying ages out of the caller's buffer.
-func (r *recorder) record(stat float64, ages []float64, logLik float64) {
-	rec := r.arena[:r.nAges:r.nAges]
-	r.arena = r.arena[r.nAges:]
-	copy(rec, ages)
-	r.set.Stats = append(r.set.Stats, stat)
-	r.set.Ages = append(r.set.Ages, rec)
-	r.set.LogLik = append(r.set.LogLik, logLik)
+func (r *recorder) hasTargets() bool { return r.essTarget > 0 || r.rhatTarget > 0 }
+
+// len returns the number of draws recorded this pass.
+func (r *recorder) len() int { return r.n }
+
+// full reports whether the pass is over: the draw budget is exhausted
+// or the stop rule fired.
+func (r *recorder) full() bool { return r.n >= r.total || r.stopped }
+
+// record appends one draw, copying ages out of the caller's buffer (or
+// streaming them to the sidecar in spill mode).
+func (r *recorder) record(stat float64, ages []float64, logLik float64) error {
+	if r.spill != nil {
+		r.spill.Append(stat, ages, logLik)
+		if r.spill.PendingBytes() >= spillFlushBytes {
+			if err := r.spill.Flush(); err != nil {
+				return fmt.Errorf("core: trace sidecar: %w", err)
+			}
+		}
+	} else {
+		rec := r.arena[:r.nAges:r.nAges]
+		r.arena = r.arena[r.nAges:]
+		copy(rec, ages)
+		r.set.Stats = append(r.set.Stats, stat)
+		r.set.Ages = append(r.set.Ages, rec)
+		r.set.LogLik = append(r.set.LogLik, logLik)
+	}
+	r.observe(stat)
+	return nil
 }
 
 // recordState appends the chain's current state.
-func (r *recorder) recordState(s *chainState) {
-	r.record(s.stat, s.ages, s.logLik)
+func (r *recorder) recordState(s *chainState) error {
+	return r.record(s.stat, s.ages, s.logLik)
+}
+
+// observe counts one recorded draw and advances the online
+// diagnostics and stop rule. It is shared by live recording and the
+// restore replay, which is what makes the diagnostic state — and
+// therefore the stop decision — a pure function of the draw stream.
+func (r *recorder) observe(stat float64) {
+	r.n++
+	if r.diag == nil || r.n <= r.burnin {
+		return
+	}
+	r.diag.Add(stat)
+	if r.stopped || !r.hasTargets() {
+		return
+	}
+	post := r.n - r.burnin
+	if post < stopMinDraws || post%stopCheckEvery != 0 {
+		return
+	}
+	ess := r.diag.ESS()
+	rhat := r.diag.RHat()
+	if r.essTarget > 0 && ess < r.essTarget {
+		return
+	}
+	// NaN (not yet enough batches) never satisfies a set R-hat target.
+	if r.rhatTarget > 0 && !(rhat <= r.rhatTarget) {
+		return
+	}
+	r.stopped = true
+	r.stopESS = ess
+	r.stopRHat = rhat
+}
+
+// finalize completes the pass: in spill mode it flushes the sidecar
+// and reads the pass's draws back into the SampleSet (the only point a
+// spilling run materializes its trace — maximization needs the full
+// post-burn-in stat vector), then closes the writer. In-memory mode is
+// a no-op.
+func (r *recorder) finalize() error {
+	if r.spill == nil {
+		return nil
+	}
+	if err := r.spill.Flush(); err != nil {
+		return fmt.Errorf("core: trace sidecar: %w", err)
+	}
+	end, _ := r.spill.Durable()
+	r.set.Stats = make([]float64, 0, r.n)
+	r.set.Ages = make([][]float64, 0, r.n)
+	r.set.LogLik = make([]float64, 0, r.n)
+	arena := make([]float64, r.n*r.nAges)
+	err := r.spill.Replay(r.passOff, end, func(stat float64, ages []float64, logLik float64) error {
+		rec := arena[:r.nAges:r.nAges]
+		arena = arena[r.nAges:]
+		copy(rec, ages)
+		r.set.Stats = append(r.set.Stats, stat)
+		r.set.Ages = append(r.set.Ages, rec)
+		r.set.LogLik = append(r.set.LogLik, logLik)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: trace sidecar: %w", err)
+	}
+	if r.set.Len() != r.n {
+		return fmt.Errorf("core: trace sidecar replayed %d draws, recorder has %d", r.set.Len(), r.n)
+	}
+	if err := r.spill.Close(); err != nil {
+		return fmt.Errorf("core: trace sidecar: %w", err)
+	}
+	r.spill = nil
+	return nil
+}
+
+// applyOutcome copies the stop decision onto a finished Result.
+func (r *recorder) applyOutcome(res *Result) {
+	res.StoppedEarly = r.stopped
+	res.StopESS = r.stopESS
+	res.StopRHat = r.stopRHat
 }

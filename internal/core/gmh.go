@@ -178,8 +178,13 @@ func (g *GMH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	r.stats[r.cur] = sumKKTFromAges(init.NTips(), r.ages[r.cur])
 
 	// Recorded draws copy their age vector out of the slot buffers into
-	// the recorder's flat arena, carved one record at a time.
-	r.rec = newRecorder(init.NTips(), cfg)
+	// the recorder's flat arena, carved one record at a time (or stream
+	// to the trace sidecar when the run spills).
+	rec, err := newRecorder(init.NTips(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.rec = rec
 	r.out = r.rec.set
 	r.res = &Result{Samples: r.out}
 
@@ -261,13 +266,15 @@ func (r *gmhRun) Step() error {
 	// Sampling stage: draw from the index chain's stationary
 	// distribution, w_i ∝ P(D|G̃_i) (Eq. 31), perSet times.
 	last := r.cur
-	for k := 0; k < r.perSet && r.out.Len() < r.total; k++ {
+	for k := 0; k < r.perSet && !r.rec.full(); k++ {
 		idx := rng.LogCategorical(r.host, r.logw)
 		if idx != last {
 			r.res.Accepted++
 		}
 		last = idx
-		r.rec.record(r.stats[idx], r.ages[idx], r.logw[idx])
+		if err := r.rec.record(r.stats[idx], r.ages[idx], r.logw[idx]); err != nil {
+			return err
+		}
 	}
 	if last != r.cur {
 		r.cur = last
@@ -282,10 +289,14 @@ func (r *gmhRun) Step() error {
 }
 
 // Done implements Stepper.
-func (r *gmhRun) Done() bool { return r.out.Len() >= r.total }
+func (r *gmhRun) Done() bool { return r.rec.full() }
 
 // Finish implements Stepper.
 func (r *gmhRun) Finish() (*Result, error) {
+	if err := r.rec.finalize(); err != nil {
+		return nil, err
+	}
+	r.rec.applyOutcome(r.res)
 	r.res.Final = r.set[r.cur].Clone()
 	return r.res, nil
 }
@@ -295,17 +306,22 @@ func (r *gmhRun) Finish() (*Result, error) {
 // by the proposal kernel before the next round reads it. The slot index
 // itself must survive, because it decides how streams map onto slots and
 // where the current state sits in the index-chain walk.
-func (r *gmhRun) Snapshot() *StepSnapshot {
+func (r *gmhRun) Snapshot() (*StepSnapshot, error) {
+	t, ref, err := r.rec.snapshot()
+	if err != nil {
+		return nil, err
+	}
 	return &StepSnapshot{
 		Sampler:  "gmh",
-		Step:     r.out.Len(),
+		Step:     r.rec.len(),
 		Cur:      r.cur,
 		Host:     r.host.State(),
 		Streams:  r.streams.State(),
 		Chains:   []ChainSnapshot{{Tree: r.set[r.cur].Clone(), Beta: 1}},
-		Trace:    r.rec.snapshot(),
+		Trace:    t,
+		TraceRef: ref,
 		Counters: countersOf(r.res),
-	}
+	}, nil
 }
 
 // Restore implements SnapshotStepper.
@@ -319,8 +335,8 @@ func (r *gmhRun) Restore(s *StepSnapshot) error {
 	if s.Cur < 0 || s.Cur > r.n {
 		return fmt.Errorf("core: gmh snapshot slot index %d out of range [0, %d]", s.Cur, r.n)
 	}
-	if s.Trace == nil || len(s.Trace.Stats) != s.Step || s.Step > r.total {
-		return fmt.Errorf("core: gmh snapshot trace does not match step %d", s.Step)
+	if s.Step > r.total {
+		return fmt.Errorf("core: gmh snapshot at step %d, run records at most %d", s.Step, r.total)
 	}
 	tree := s.Chains[0].Tree
 	if tree.NTips() != r.set[0].NTips() {
@@ -350,7 +366,7 @@ func (r *gmhRun) Restore(s *StepSnapshot) error {
 	}
 	r.ages[r.cur] = r.set[r.cur].CoalescentAgesInto(r.ages[r.cur])
 	r.stats[r.cur] = sumKKTFromAges(r.out.NTips, r.ages[r.cur])
-	if err := r.rec.restore(s.Trace); err != nil {
+	if err := r.rec.restore(s.Trace, s.TraceRef, s.Step); err != nil {
 		return err
 	}
 	s.Counters.applyTo(r.res)

@@ -152,6 +152,10 @@ func (h *Heated) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
+	rec, err := newRecorder(init.NTips(), cfg)
+	if err != nil {
+		return nil, err
+	}
 	r := &heatedRun{
 		h:         h,
 		p:         p,
@@ -163,7 +167,7 @@ func (h *Heated) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 		host:      seedSource(cfg.Seed, 5),
 		streams:   rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f),
 		accepted:  make([]bool, p),
-		rec:       newRecorder(init.NTips(), cfg),
+		rec:       rec,
 	}
 
 	// One engine state per rung: tree pair, delta cache, resimulation
@@ -218,16 +222,22 @@ func (r *heatedRun) Step() error {
 		}
 	}
 
-	r.rec.recordState(r.states[0])
+	if err := r.rec.recordState(r.states[0]); err != nil {
+		return err
+	}
 	r.step++
 	return nil
 }
 
 // Done implements Stepper.
-func (r *heatedRun) Done() bool { return r.step >= r.total }
+func (r *heatedRun) Done() bool { return r.rec.full() }
 
 // Finish implements Stepper.
 func (r *heatedRun) Finish() (*Result, error) {
+	if err := r.rec.finalize(); err != nil {
+		return nil, err
+	}
+	r.rec.applyOutcome(r.res)
 	r.res.Final = r.states[0].cur.Clone()
 	r.res.Betas = r.ladder.Betas()
 	r.res.LadderAdapted = r.ladder.Adaptive()
@@ -245,10 +255,14 @@ func (r *heatedRun) Finish() (*Result, error) {
 // order, plus the swap generator, all rung streams, and the ladder
 // controller's runtime state (the adapted schedule, per-pair windows and
 // adaptation clock) — checkpoint format v2 carries the latter.
-func (r *heatedRun) Snapshot() *StepSnapshot {
+func (r *heatedRun) Snapshot() (*StepSnapshot, error) {
 	chains := make([]ChainSnapshot, r.p)
 	for i, st := range r.states {
 		chains[i] = st.Snapshot()
+	}
+	t, ref, err := r.rec.snapshot()
+	if err != nil {
+		return nil, err
 	}
 	return &StepSnapshot{
 		Sampler:  "heated",
@@ -257,9 +271,10 @@ func (r *heatedRun) Snapshot() *StepSnapshot {
 		Streams:  r.streams.State(),
 		Chains:   chains,
 		Ladder:   r.ladder.Snapshot(),
-		Trace:    r.rec.snapshot(),
+		Trace:    t,
+		TraceRef: ref,
 		Counters: countersOf(r.res),
-	}
+	}, nil
 }
 
 // Restore implements SnapshotStepper.
@@ -272,9 +287,6 @@ func (r *heatedRun) Restore(s *StepSnapshot) error {
 	}
 	if s.Step < 0 || s.Step > r.total {
 		return fmt.Errorf("core: heated snapshot at step %d, run has %d", s.Step, r.total)
-	}
-	if s.Trace == nil || len(s.Trace.Stats) != s.Step {
-		return fmt.Errorf("core: heated snapshot trace does not match step %d", s.Step)
 	}
 	if s.Ladder != nil {
 		if err := r.ladder.Restore(s.Ladder); err != nil {
@@ -311,7 +323,7 @@ func (r *heatedRun) Restore(s *StepSnapshot) error {
 			return fmt.Errorf("core: heated rung %d: %w", i, err)
 		}
 	}
-	if err := r.rec.restore(s.Trace); err != nil {
+	if err := r.rec.restore(s.Trace, s.TraceRef, s.Step); err != nil {
 		return err
 	}
 	s.Counters.applyTo(r.res)

@@ -319,7 +319,10 @@ func heatedFixedOracle(eval *felsen.Evaluator, dev *device.Device, init *gtree.T
 	host := seedSource(cfg.Seed, 5)
 	streams := rng.NewStreamSet(p, cfg.Seed^0xc2b2ae3d27d4eb4f)
 	accepted := make([]bool, p)
-	rec := newRecorder(init.NTips(), cfg)
+	rec, err := newRecorder(init.NTips(), cfg)
+	if err != nil {
+		panic(err)
+	}
 	res := &Result{Samples: rec.set}
 	theta := cfg.Theta
 	kernel := func(i int) {
@@ -344,7 +347,9 @@ func heatedFixedOracle(eval *felsen.Evaluator, dev *device.Device, init *gtree.T
 			}
 			res.SwapAttempts++
 		}
-		rec.recordState(states[0])
+		if err := rec.recordState(states[0]); err != nil {
+			panic(err)
+		}
 	}
 	res.Final = states[0].cur.Clone()
 	return res
@@ -423,7 +428,7 @@ func TestHeatedAdaptiveKillResumeBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		snap := run.(SnapshotStepper).Snapshot()
+		snap := mustSnapshot(t, run)
 		resumed, err := h.Start(init, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -450,7 +455,7 @@ func TestHeatedAdaptiveKillResumeBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := run.(SnapshotStepper).Snapshot()
+	snap := mustSnapshot(t, run)
 	v1 := *snap
 	v1.Ladder = nil
 	fresh, err := h.Start(init, cfg)
@@ -493,7 +498,7 @@ func TestHeatedV1ResumeOmitsPairHistory(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := run.(SnapshotStepper).Snapshot()
+	snap := mustSnapshot(t, run)
 	snap.Ladder = nil // what a v1 file decodes to
 	resumed, err := h.Start(init, cfg)
 	if err != nil {

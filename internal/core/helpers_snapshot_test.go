@@ -1,0 +1,14 @@
+package core
+
+import "testing"
+
+// mustSnapshot exports a stepper's snapshot, failing the test on the
+// (spill-mode-only) flush error path.
+func mustSnapshot(t *testing.T, run Stepper) *StepSnapshot {
+	t.Helper()
+	snap, err := run.(SnapshotStepper).Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return snap
+}

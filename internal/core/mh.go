@@ -62,7 +62,10 @@ func (m *MH) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	if init.NTips() < 3 {
 		return nil, fmt.Errorf("core: sampler needs at least 3 sequences, got %d", init.NTips())
 	}
-	rec := newRecorder(init.NTips(), cfg)
+	rec, err := newRecorder(init.NTips(), cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &mhRun{
 		theta: cfg.Theta,
 		src:   seedSource(cfg.Seed, 1),
@@ -84,29 +87,37 @@ func (r *mhRun) Step() error {
 	if accepted {
 		r.res.Accepted++
 	}
-	r.rec.recordState(r.st)
-	return nil
+	return r.rec.recordState(r.st)
 }
 
 // Done implements Stepper.
-func (r *mhRun) Done() bool { return r.step >= r.total }
+func (r *mhRun) Done() bool { return r.rec.full() }
 
 // Finish implements Stepper.
 func (r *mhRun) Finish() (*Result, error) {
+	if err := r.rec.finalize(); err != nil {
+		return nil, err
+	}
+	r.rec.applyOutcome(r.res)
 	r.res.Final = r.st.cur
 	return r.res, nil
 }
 
 // Snapshot implements SnapshotStepper.
-func (r *mhRun) Snapshot() *StepSnapshot {
+func (r *mhRun) Snapshot() (*StepSnapshot, error) {
+	t, ref, err := r.rec.snapshot()
+	if err != nil {
+		return nil, err
+	}
 	return &StepSnapshot{
 		Sampler:  "mh",
 		Step:     r.step,
 		Host:     r.src.State(),
 		Chains:   []ChainSnapshot{r.st.Snapshot()},
-		Trace:    r.rec.snapshot(),
+		Trace:    t,
+		TraceRef: ref,
 		Counters: countersOf(r.res),
-	}
+	}, nil
 }
 
 // Restore implements SnapshotStepper.
@@ -120,16 +131,13 @@ func (r *mhRun) Restore(s *StepSnapshot) error {
 	if s.Step < 0 || s.Step > r.total {
 		return fmt.Errorf("core: mh snapshot at step %d, run has %d", s.Step, r.total)
 	}
-	if s.Trace == nil || len(s.Trace.Stats) != s.Step {
-		return fmt.Errorf("core: mh snapshot trace does not match step %d", s.Step)
-	}
 	if err := r.src.SetState(s.Host); err != nil {
 		return err
 	}
 	if err := r.st.RestoreChainState(s.Chains[0]); err != nil {
 		return err
 	}
-	if err := r.rec.restore(s.Trace); err != nil {
+	if err := r.rec.restore(s.Trace, s.TraceRef, s.Step); err != nil {
 		return err
 	}
 	s.Counters.applyTo(r.res)

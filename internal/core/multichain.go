@@ -75,6 +75,12 @@ func (m *MultiChain) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("core: MultiChain needs at least 1 chain, got %d", p)
 	}
+	if cfg.ESSTarget > 0 || cfg.RHatTarget > 0 {
+		// Each chain owns an even share of the pooled quota; a per-chain
+		// stop rule against a pooled target is ill-defined, so the
+		// ensemble rejects targets rather than guessing a split.
+		return nil, fmt.Errorf("core: MultiChain does not support convergence stop targets")
+	}
 	perChain := (cfg.Samples + p - 1) / p
 	r := &mcRun{
 		m:       m,
@@ -87,12 +93,20 @@ func (m *MultiChain) Start(init *gtree.Tree, cfg ChainConfig) (Stepper, error) {
 	for chain := 0; chain < p; chain++ {
 		sub := NewMH(m.eval)
 		sub.SerialEval = m.SerialEval
-		run, err := sub.Start(init, ChainConfig{
+		sc := ChainConfig{
 			Theta:   cfg.Theta,
 			Burnin:  cfg.Burnin,
 			Samples: perChain,
 			Seed:    cfg.Seed + uint64(chain)*0x01000193,
-		})
+		}
+		if cfg.Trace != nil {
+			// Chains step concurrently inside the device launch, so each
+			// one spills to its own sidecar file.
+			t := *cfg.Trace
+			t.Path = fmt.Sprintf("%s.c%d", cfg.Trace.Path, chain)
+			sc.Trace = &t
+		}
+		run, err := sub.Start(init, sc)
 		if err != nil {
 			return nil, fmt.Errorf("core: chain %d: %w", chain, err)
 		}
@@ -165,12 +179,16 @@ func (r *mcRun) Finish() (*Result, error) {
 
 // Snapshot implements SnapshotStepper: one MH snapshot per chain, in
 // chain order.
-func (r *mcRun) Snapshot() *StepSnapshot {
+func (r *mcRun) Snapshot() (*StepSnapshot, error) {
 	subs := make([]*StepSnapshot, len(r.subs))
 	for i, sub := range r.subs {
-		subs[i] = sub.Snapshot()
+		snap, err := sub.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("core: chain %d: %w", i, err)
+		}
+		subs[i] = snap
 	}
-	return &StepSnapshot{Sampler: "multichain", Subs: subs}
+	return &StepSnapshot{Sampler: "multichain", Subs: subs}, nil
 }
 
 // Restore implements SnapshotStepper.

@@ -33,6 +33,35 @@ type ChainConfig struct {
 	Samples int
 	// Seed drives all pseudo-randomness of the run deterministically.
 	Seed uint64
+	// Trace, when set, streams every recorded draw to an append-only
+	// sidecar file instead of accumulating it in memory: the recorder
+	// stays bounded, and snapshots carry a durable byte offset into the
+	// sidecar instead of the trace itself (O(interval) checkpoints).
+	Trace *TraceSpec
+	// ESSTarget, when positive, ends the run early once the online
+	// effective-sample-size estimate of the post-burn-in stat stream
+	// reaches it. The check is a pure function of the draw stream at a
+	// fixed cadence, so a resumed run stops at exactly the same draw.
+	ESSTarget float64
+	// RHatTarget, when positive, additionally requires the online split
+	// Gelman-Rubin statistic to fall to or below it (must exceed 1).
+	RHatTarget float64
+}
+
+// TraceSpec configures the streaming trace sidecar of a run.
+type TraceSpec struct {
+	// Path of the sidecar file. Created if absent; an existing file is
+	// recovered (torn tail truncated) and appended to, which is how the
+	// passes of one EM estimation share a single sidecar.
+	Path string
+	// Window is the size of the recent-draws ring the online ESS is
+	// estimated from. Zero selects the stats package default (1024).
+	Window int
+	// Subsample thins the diagnostics window: only every k-th draw
+	// enters it, stretching the window over a longer stretch of chain.
+	// Zero or one means no thinning. Only diagnostics are thinned — the
+	// sidecar always receives every draw.
+	Subsample int
 }
 
 func (c *ChainConfig) validate() error {
@@ -44,6 +73,18 @@ func (c *ChainConfig) validate() error {
 	}
 	if c.Samples <= 0 {
 		return fmt.Errorf("core: need at least one sample, got %d", c.Samples)
+	}
+	if c.Trace != nil && c.Trace.Path == "" {
+		return fmt.Errorf("core: trace spec has no sidecar path")
+	}
+	if c.ESSTarget < 0 {
+		return fmt.Errorf("core: ESS target %v must not be negative", c.ESSTarget)
+	}
+	if c.RHatTarget < 0 {
+		return fmt.Errorf("core: R-hat target %v must not be negative", c.RHatTarget)
+	}
+	if c.RHatTarget > 0 && c.RHatTarget <= 1 {
+		return fmt.Errorf("core: R-hat target %v must exceed 1 (the statistic approaches 1 from above)", c.RHatTarget)
 	}
 	return nil
 }
@@ -125,6 +166,12 @@ type Result struct {
 	// with adaptation on it is the adapted schedule, otherwise the fixed
 	// geometric one.
 	Betas []float64
+	// StoppedEarly reports that the run ended at its convergence target
+	// (ESSTarget/RHatTarget) before exhausting the configured draw
+	// budget; StopESS and StopRHat are the online diagnostics at the
+	// stop decision.
+	StoppedEarly      bool
+	StopESS, StopRHat float64
 	// LadderAdapted reports whether the run was configured for
 	// swap-rate-driven ladder adaptation; LadderAdaptations counts the
 	// updates actually applied. Zero updates on an adapted run means

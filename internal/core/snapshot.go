@@ -6,6 +6,7 @@ import (
 	"mpcgs/internal/gtree"
 	"mpcgs/internal/rng"
 	"mpcgs/internal/tempering"
+	"mpcgs/internal/trace"
 )
 
 // Chain/stepper/EM snapshots: the serializable state of a run at a
@@ -81,15 +82,66 @@ func (s *chainState) RestoreChainState(c ChainSnapshot) error {
 }
 
 // TraceSnapshot is the recorded trace of a run so far: one entry per draw,
-// deep-copied out of the recorder.
+// deep-copied out of the recorder. Only in-memory runs carry it; spilling
+// runs carry a TraceRef instead.
 type TraceSnapshot struct {
 	Stats  []float64
 	Ages   [][]float64
 	LogLik []float64
 }
 
-// snapshot deep-copies the draws recorded so far.
-func (r *recorder) snapshot() *TraceSnapshot {
+// TraceRef is a spilling run's trace as a snapshot carries it: not the
+// draws, just where the durable prefix of the sidecar ends and where
+// the current pass began inside it. This is what makes snapshot size
+// independent of how many draws the run has recorded. ESS, RHat and
+// Stopped mirror the online diagnostics at snapshot time; they are
+// informational (inspect reads them) and rebuilt from the stream on
+// restore, never trusted.
+type TraceRef struct {
+	// Path of the sidecar as the run was configured (informational:
+	// restore always uses the resuming run's own configured sidecar).
+	Path string
+	// NAges is the per-draw age count of the sidecar's frames.
+	NAges int
+	// Offset and Draws locate the durable end of the sidecar at
+	// snapshot time: Offset bytes holding Draws draws in total.
+	Offset int64
+	Draws  int
+	// PassOffset and PassDraws locate the start of the pass the
+	// snapshot was taken in: the sidecar is shared by all passes of one
+	// estimation, and the pass's own draws are [PassOffset, Offset).
+	PassOffset int64
+	PassDraws  int
+	// Online diagnostics at snapshot time.
+	ESS     float64
+	RHat    float64
+	Stopped bool
+}
+
+// snapshot exports the recorder's trace state: a deep copy of the
+// draws for in-memory runs, or — after flushing, so the offsets below
+// are durable — a sidecar reference for spilling runs.
+func (r *recorder) snapshot() (*TraceSnapshot, *TraceRef, error) {
+	if r.spill != nil {
+		if err := r.spill.Flush(); err != nil {
+			return nil, nil, fmt.Errorf("core: trace sidecar: %w", err)
+		}
+		off, draws := r.spill.Durable()
+		ref := &TraceRef{
+			Path:       r.spill.Path(),
+			NAges:      r.nAges,
+			Offset:     off,
+			Draws:      draws,
+			PassOffset: r.passOff,
+			PassDraws:  r.passDraws,
+			Stopped:    r.stopped,
+		}
+		if r.diag != nil {
+			ref.ESS = r.diag.ESS()
+			ref.RHat = r.diag.RHat()
+		}
+		return nil, ref, nil
+	}
 	t := &TraceSnapshot{
 		Stats:  append([]float64(nil), r.set.Stats...),
 		Ages:   make([][]float64, len(r.set.Ages)),
@@ -98,30 +150,94 @@ func (r *recorder) snapshot() *TraceSnapshot {
 	for i, ages := range r.set.Ages {
 		t.Ages[i] = append([]float64(nil), ages...)
 	}
-	return t
+	return t, nil, nil
 }
 
-// restore replays a trace into a fresh recorder. The recorder must not
-// have recorded anything yet, and the trace must fit its arena.
-func (r *recorder) restore(t *TraceSnapshot) error {
-	if t == nil {
-		return nil
+// restore replays a snapshot's trace into a fresh recorder that must
+// hold exactly step draws afterwards. All four mode pairings work:
+//
+//   - in-memory trace → in-memory recorder: the draws replay through
+//     record as before;
+//   - in-memory trace → spilling recorder: a v1/v2 checkpoint resumed
+//     under spilling — the draws replay through record, which seeds
+//     the sidecar (the migration path);
+//   - sidecar ref → spilling recorder: the sidecar is truncated back
+//     to the checkpointed durable offset (discarding anything written
+//     after the snapshot, including a recovered-but-newer tail) and
+//     the pass's draws replay through the online diagnostics;
+//   - sidecar ref → in-memory recorder: the draws are read back from
+//     the referenced sidecar path.
+func (r *recorder) restore(t *TraceSnapshot, ref *TraceRef, step int) error {
+	if r.n != 0 {
+		return fmt.Errorf("core: trace restore into a recorder that already has %d draws", r.n)
 	}
-	if len(r.set.Stats) != 0 {
-		return fmt.Errorf("core: trace restore into a recorder that already has %d draws", len(r.set.Stats))
+	if step < 0 || step > r.total {
+		return fmt.Errorf("core: trace restore at step %d, run records at most %d", step, r.total)
+	}
+	switch {
+	case t != nil && ref != nil:
+		return fmt.Errorf("core: snapshot carries both a trace and a sidecar reference")
+	case t != nil:
+		return r.restoreTrace(t, step)
+	case ref != nil:
+		return r.restoreRef(ref, step)
+	default:
+		return fmt.Errorf("core: snapshot carries no trace")
+	}
+}
+
+func (r *recorder) restoreTrace(t *TraceSnapshot, step int) error {
+	if len(t.Stats) != step {
+		return fmt.Errorf("core: trace snapshot has %d draws, snapshot step is %d", len(t.Stats), step)
 	}
 	if len(t.Stats) != len(t.Ages) || len(t.Stats) != len(t.LogLik) {
 		return fmt.Errorf("core: trace snapshot is ragged: %d stats, %d age rows, %d log-likelihoods",
 			len(t.Stats), len(t.Ages), len(t.LogLik))
 	}
-	if len(t.Stats)*r.nAges > len(r.arena) {
-		return fmt.Errorf("core: trace snapshot has %d draws, run records at most %d", len(t.Stats), len(r.arena)/max(r.nAges, 1))
-	}
 	for i := range t.Stats {
 		if len(t.Ages[i]) != r.nAges {
 			return fmt.Errorf("core: trace snapshot draw %d has %d ages, want %d", i, len(t.Ages[i]), r.nAges)
 		}
-		r.record(t.Stats[i], t.Ages[i], t.LogLik[i])
+		if err := r.record(t.Stats[i], t.Ages[i], t.LogLik[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *recorder) restoreRef(ref *TraceRef, step int) error {
+	if ref.NAges != r.nAges {
+		return fmt.Errorf("core: sidecar reference has %d ages per draw, run has %d", ref.NAges, r.nAges)
+	}
+	if got := ref.Draws - ref.PassDraws; got != step {
+		return fmt.Errorf("core: sidecar reference holds %d pass draws, snapshot step is %d", got, step)
+	}
+	if r.spill != nil {
+		// Rewind the sidecar to the checkpoint: draws recorded after
+		// the snapshot was taken are discarded, and the checkpoint's
+		// draw count is re-verified against the frames on disk.
+		if err := r.spill.TruncateTo(ref.Offset, ref.Draws); err != nil {
+			return fmt.Errorf("core: trace sidecar: %w", err)
+		}
+		r.passOff = ref.PassOffset
+		r.passDraws = ref.PassDraws
+		err := r.spill.Replay(ref.PassOffset, ref.Offset, func(stat float64, ages []float64, logLik float64) error {
+			r.observe(stat)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: trace sidecar: %w", err)
+		}
+	} else {
+		err := trace.Replay(ref.Path, ref.PassOffset, ref.Offset, func(stat float64, ages []float64, logLik float64) error {
+			return r.record(stat, ages, logLik)
+		})
+		if err != nil {
+			return fmt.Errorf("core: trace sidecar: %w", err)
+		}
+	}
+	if r.n != step {
+		return fmt.Errorf("core: sidecar replay yielded %d draws, snapshot step is %d", r.n, step)
 	}
 	return nil
 }
@@ -176,7 +292,11 @@ type StepSnapshot struct {
 	Streams []rng.MTState
 	Chains  []ChainSnapshot
 	Ladder  *tempering.State
-	Trace   *TraceSnapshot
+	// Trace carries the draws of an in-memory run; TraceRef the sidecar
+	// reference of a spilling run (checkpoint format v3). Exactly one is
+	// set.
+	Trace    *TraceSnapshot
+	TraceRef *TraceRef
 	Counters
 	Subs []*StepSnapshot
 }
@@ -185,10 +305,12 @@ type StepSnapshot struct {
 // and restored. All built-in step-driven samplers implement it. Restore
 // must be called on a freshly started stepper (same sampler, same
 // ChainConfig) before its first Step; Snapshot must be called between
-// steps — the scheduler guarantees both by construction.
+// steps — the scheduler guarantees both by construction. Snapshot can
+// fail only in spill mode, where it must make the sidecar durable
+// before referencing it.
 type SnapshotStepper interface {
 	Stepper
-	Snapshot() *StepSnapshot
+	Snapshot() (*StepSnapshot, error)
 	Restore(*StepSnapshot) error
 }
 
@@ -222,7 +344,11 @@ func (e *EMRun) Snapshot() (*EMSnapshot, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: sampler %q does not support snapshots", e.sampler.Name())
 		}
-		snap.Active = ss.Snapshot()
+		active, err := ss.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		snap.Active = active
 	}
 	return snap, nil
 }

@@ -96,7 +96,7 @@ func TestKillResumeBitIdentical(t *testing.T) {
 						t.Fatal(err)
 					}
 				}
-				snap := run.(SnapshotStepper).Snapshot()
+				snap := mustSnapshot(t, run)
 				// The original run is now abandoned; a fresh one restores.
 				resumed, err := tc.s.Start(init, cfg)
 				if err != nil {
@@ -143,7 +143,7 @@ func TestKillResumeSerialEvalMode(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := run.(SnapshotStepper).Snapshot()
+	snap := mustSnapshot(t, run)
 
 	// A delta-mode run must refuse a serial-mode snapshot.
 	delta, err := NewMH(eval).Start(init, cfg)
@@ -186,7 +186,7 @@ func TestRestoreRejectsMismatches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := gmh3.(SnapshotStepper).Snapshot()
+	snap := mustSnapshot(t, gmh3)
 
 	gmh4, _ := NewGMH(eval, dev, 4).Start(init, cfg)
 	if err := gmh4.(SnapshotStepper).Restore(snap); err == nil {
@@ -203,7 +203,7 @@ func TestRestoreRejectsMismatches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := h2.(SnapshotStepper).Restore(h3.(SnapshotStepper).Snapshot()); err == nil {
+	if err := h2.(SnapshotStepper).Restore(mustSnapshot(t, h3)); err == nil {
 		t.Fatal("3-rung heated snapshot restored into a 2-rung run")
 	}
 }

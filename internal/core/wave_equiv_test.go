@@ -90,7 +90,7 @@ func TestWaveGMHKillResumeBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		snap := run.(SnapshotStepper).Snapshot()
+		snap := mustSnapshot(t, run)
 		resumed, err := g.Start(init, waveEquivConfig)
 		if err != nil {
 			t.Fatal(err)
@@ -122,7 +122,7 @@ func TestWaveGMHKillResumeBitIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := run.(SnapshotStepper).Snapshot()
+	snap := mustSnapshot(t, run)
 	resumed, err := g.Start(init, waveEquivConfig)
 	if err != nil {
 		t.Fatal(err)

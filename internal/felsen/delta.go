@@ -123,6 +123,15 @@ type deltaScratch struct {
 	// block order — the fixed-order reduction that keeps blocked results
 	// deterministic.
 	sums []float64
+	// rows holds the evaluation's resolved lane sources, indexed like
+	// order: each dirty node's child rows (tip table, staged scratch or
+	// cache), output row and child matrices, bound once by bindRows so the
+	// block kernel selects tip cells by plain slice indexing instead of
+	// re-branching per node per block. rootCond/rootScale are the root
+	// row's lanes for the contraction.
+	rows      []rowRef
+	rootCond  []float64
+	rootScale []float64
 
 	// Per-evaluation kernel bindings, set by evalDelta before the blocks
 	// run and cleared after.
@@ -131,6 +140,18 @@ type deltaScratch struct {
 	t         *gtree.Tree
 	writeBack bool
 	kernel    func(b int)
+}
+
+// rowRef is one dirty node's pre-resolved evaluation inputs: full-length
+// lane slices (sliced to the block's pattern range inside the kernel)
+// and the two child transition matrices. Resolving these once per
+// evaluation removes the only data-dependent branches — tip table vs
+// scratch vs cache — from the block kernel's node loop.
+type rowRef struct {
+	lc, ls []float64 // left child's state lanes and scale lane
+	rc, rs []float64 // right child's state lanes and scale lane
+	oc, os []float64 // output row's state lanes and scale lane
+	m0, m1 *subst.Matrix
 }
 
 // NewDeltaCache allocates an empty cache sized for the evaluator's
@@ -400,6 +421,7 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 		ds.sums = ds.sums[:nBlocks]
 	}
 	ds.e, ds.c, ds.t, ds.writeBack = e, c, t, writeBack
+	ds.bindRows(t)
 	if nBlocks > 1 && e.dev.Workers() > 1 && (len(ds.order)+1)*nPat >= blockParallelMinWork {
 		// Two-level parallelism: this evaluation's blocks join the device
 		// pool alongside any other proposals' blocks. Affinity keeps each
@@ -420,12 +442,41 @@ func (e *Evaluator) evalDelta(c *DeltaCache, t *gtree.Tree, ds *deltaScratch, wr
 	return total
 }
 
+// bindRows resolves every dirty node's lane sources and matrices into
+// ds.rows, and the root row for the contraction, once per evaluation —
+// before the blocks run, after the scratch lanes are sized (the slices
+// must point into the final backing arrays). A dirty child's slice
+// header is resolved before its row is computed, which is safe because
+// the header aliases the array the child's own rowRef writes through.
+// This is the branchless tip-cell selection: the block kernel indexes
+// rows[k] instead of re-deciding tip table vs scratch vs cache for
+// every node in every block.
+func (ds *deltaScratch) bindRows(t *gtree.Tree) {
+	nTips := t.NTips()
+	if cap(ds.rows) < len(ds.order) {
+		ds.rows = make([]rowRef, len(ds.order)) //mpcgsvet:ignore-alloc cap-guarded pooled-scratch growth, amortized across proposals
+	} else {
+		ds.rows = ds.rows[:len(ds.order)]
+	}
+	for k, node := range ds.order {
+		nd := &t.Nodes[node]
+		c0, c1 := nd.Child[0], nd.Child[1]
+		rr := &ds.rows[k]
+		rr.lc, rr.ls = ds.row(nTips, c0)
+		rr.rc, rr.rs = ds.row(nTips, c1)
+		rr.oc, rr.os = ds.outRow(nTips, node)
+		rr.m0, rr.m1 = &ds.mats[c0], &ds.mats[c1]
+	}
+	ds.rootCond, ds.rootScale = ds.row(nTips, t.Root)
+}
+
 // row returns a node's conditional lanes for reading: the shared tip
 // table for tips (their scale lane is the shared all-zero lane), the
 // staged scratch lanes for already-recomputed dirty nodes of a
 // non-write-back evaluation, and the cache otherwise. cond is the node's
 // four contiguous state lanes (lane x at offset x·nPatterns), scale its
-// rescaling-log lane.
+// rescaling-log lane. It is the resolution half of bindRows: called once
+// per node per evaluation, never from the block kernel.
 func (ds *deltaScratch) row(nTips, node int) (cond, scale []float64) {
 	e := ds.e
 	nPat := e.nPatterns
@@ -458,12 +509,15 @@ func (ds *deltaScratch) outRow(nTips, node int) (cond, scale []float64) {
 // block's pattern range, bottom-up, then the block's root-contraction
 // partial sum into ds.sums[b]. Blocks touch disjoint pattern ranges of
 // the same rows, so any number of one evaluation's blocks may run
-// concurrently on the pool. The inner loop is a single fused pass per
-// node — both children's dot products, the running maximum, the rare
-// rescale, and the scale lane — over equal-length lane slices indexed by
-// one induction variable, which is what lets the compiler eliminate every
-// bounds check (-d=ssa/check_bce) and keep the loads and stores dense.
-// The per-pattern arithmetic and its operation order are identical to
+// concurrently on the pool. The node loop is branchless on lane sources:
+// every row — tip table, staged scratch or cache — was resolved into
+// ds.rows by bindRows, so the kernel only slices and streams. The inner
+// loop is a single fused pass per node — both children's dot products,
+// the running maximum, the rare rescale, and the scale lane — over
+// equal-length lane slices indexed by one induction variable, which is
+// what lets the compiler eliminate every bounds check
+// (-d=ssa/check_bce) and keep the loads and stores dense. The
+// per-pattern arithmetic and its operation order are identical to
 // siteLogLikelihoodIter.
 //
 //mpcgs:hotpath
@@ -475,15 +529,12 @@ func (ds *deltaScratch) runBlock(b int) {
 	if hi > nPat {
 		hi = nPat
 	}
-	t := ds.t
-	nTips := t.NTips()
-	for _, node := range ds.order {
-		nd := &t.Nodes[node]
-		c0, c1 := nd.Child[0], nd.Child[1]
-		lc, lsf := ds.row(nTips, c0)
-		rc, rsf := ds.row(nTips, c1)
-		oc, osf := ds.outRow(nTips, node)
-		m0, m1 := &ds.mats[c0], &ds.mats[c1]
+	for k := range ds.rows {
+		rr := &ds.rows[k]
+		lc, lsf := rr.lc, rr.ls
+		rc, rsf := rr.rc, rr.rs
+		oc, osf := rr.oc, rr.os
+		m0, m1 := rr.m0, rr.m1
 		a00, a01, a02, a03 := m0[0][0], m0[0][1], m0[0][2], m0[0][3]
 		a10, a11, a12, a13 := m0[1][0], m0[1][1], m0[1][2], m0[1][3]
 		a20, a21, a22, a23 := m0[2][0], m0[2][1], m0[2][2], m0[2][3]
@@ -553,7 +604,7 @@ func (ds *deltaScratch) runBlock(b int) {
 	// Root contraction with the prior frequencies (Eq. 21), per pattern.
 	// The root is always dirty here: diffDirty marks every changed node's
 	// full ancestor path.
-	rc, rsf := ds.row(nTips, t.Root)
+	rc, rsf := ds.rootCond, ds.rootScale
 	f0, f1, f2, f3 := e.freqs[0], e.freqs[1], e.freqs[2], e.freqs[3]
 	p0 := rc[lo:hi]
 	p1 := rc[nPat+lo : nPat+hi]

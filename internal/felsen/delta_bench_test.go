@@ -151,3 +151,22 @@ func BenchmarkRebaseTo(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRebaseFull measures a full-tree evaluation through the block
+// kernel: every interior node dirty, so — at 12 sequences — over half of
+// all child rows are tip rows. This is the tip-dominated regime that
+// pins the cost of tip-cell selection, which bindRows resolves once per
+// evaluation into plain slice headers instead of re-branching per node
+// per block.
+func BenchmarkRebaseFull(b *testing.B) {
+	for _, L := range []int{1000, 4000} {
+		eval, tree := benchFixture(b, 12, L)
+		c := eval.NewDeltaCache()
+		b.Run(fmt.Sprintf("bp=%d", L), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eval.Rebase(c, tree)
+			}
+		})
+	}
+}

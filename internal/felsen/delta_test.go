@@ -163,3 +163,57 @@ func TestRebaseToOnFreshCacheFallsBackToFull(t *testing.T) {
 		t.Fatalf("RebaseTo on fresh cache = %v, want %v", got, want)
 	}
 }
+
+func TestTipRowResolutionBitIdentical(t *testing.T) {
+	// Tip-heavy pin for the pre-resolved (branchless) row selection: on a
+	// minimal tree every dirty node's children are mostly tips, so each
+	// evaluation streams the tip table through bindRows' resolved slice
+	// headers. Results must stay bit-identical between the delta path, a
+	// from-scratch pattern evaluation, and the staged path, across block
+	// sizes straddling the pattern count.
+	aln, _, err := seqgen.SimulateData(4, 240, 1.0, 881)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := subst.NewF81(aln.BaseFreqs(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 7, 64, 4096} {
+		eval, err := New(model, aln, device.Serial())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval.SetBlockSize(bs)
+		src := rng.NewMT19937(882)
+		tree, err := gtree.RandomCoalescent(aln.Names, 1.0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := eval.NewDeltaCache()
+		eval.Rebase(c, tree)
+		prop := tree.Clone()
+		for step := 0; step < 50; step++ {
+			prop.CopyFrom(tree)
+			target := resim.PickTarget(prop, src)
+			if err := resim.Resimulate(prop, target, 1.0, src); err != nil {
+				continue
+			}
+			got := eval.LogLikelihoodDelta(c, prop)
+			fresh := eval.NewDeltaCache()
+			if full := eval.Rebase(fresh, prop); math.Float64bits(full) != math.Float64bits(got) {
+				t.Fatalf("bs=%d step %d: delta %v != full pattern eval %v (must be bit-identical)", bs, step, got, full)
+			}
+			st := eval.StageDelta(c, prop)
+			if math.Float64bits(st.LogLik()) != math.Float64bits(got) {
+				t.Fatalf("bs=%d step %d: staged %v != delta %v (must be bit-identical)", bs, step, st.LogLik(), got)
+			}
+			if step%2 == 0 {
+				st.Commit()
+				tree.CopyFrom(prop)
+			} else {
+				st.Discard()
+			}
+		}
+	}
+}

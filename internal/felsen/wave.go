@@ -82,6 +82,13 @@ type waveProp struct {
 	pclean         int
 	// am is the ancestor→parent edge matrix; unused in the root case.
 	am subst.Matrix
+	// tl/tr/cv are the target's children's and the parent's clean child's
+	// full-length lane sources (tip table or cache), resolved once per
+	// proposal so the grid cells select tip cells by slicing instead of
+	// re-branching per cell.
+	tlc, tls []float64
+	trc, trs []float64
+	cvc, cvs []float64
 }
 
 // waveScratch is the per-cell working row of the wave kernel: one node's
@@ -115,9 +122,12 @@ type Wave struct {
 	chainMats []subst.Matrix
 	cleanMats []subst.Matrix
 	// outer holds the lift lanes, path-node-major: node k's state lane x
-	// is outer[(k*nStates+x)*nPatterns:][:nPatterns]. cleanScale[k] is
-	// cleanCh[k]'s rescaling-log lane (a cache or tip-table slice).
+	// is outer[(k*nStates+x)*nPatterns:][:nPatterns]. cleanCond[k] and
+	// cleanScale[k] are cleanCh[k]'s state lanes and rescaling-log lane
+	// (cache or tip-table slices), resolved once per round so neither the
+	// lift blocks nor the grid cells branch on tip-ness.
 	outer      []float64
+	cleanCond  [][]float64
 	cleanScale [][]float64
 	bound      bool
 
@@ -196,6 +206,7 @@ func (w *Wave) BindRound(phi int) {
 		w.chainMats = w.chainMats[:depth]
 		w.cleanMats = w.cleanMats[:depth]
 	}
+	w.cleanCond = w.cleanCond[:0]
 	w.cleanScale = w.cleanScale[:0]
 	prev = w.parent
 	for k, v := range w.path {
@@ -208,7 +219,8 @@ func (w *Wave) BindRound(phi int) {
 		}
 		clean := w.cleanCh[k]
 		e.model.TransitionInto(vn.Age-base.Nodes[clean].Age, &w.cleanMats[k])
-		_, cs := w.rowOf(clean)
+		cc, cs := w.rowOf(clean)
+		w.cleanCond = append(w.cleanCond, cc)
 		w.cleanScale = append(w.cleanScale, cs)
 		prev = v
 	}
@@ -258,7 +270,7 @@ func (w *Wave) runLiftBlock(b int) {
 		b10, b11, b12, b13 := m[1][0], m[1][1], m[1][2], m[1][3]
 		b20, b21, b22, b23 := m[2][0], m[2][1], m[2][2], m[2][3]
 		b30, b31, b32, b33 := m[3][0], m[3][1], m[3][2], m[3][3]
-		vc, _ := w.rowOf(w.cleanCh[k])
+		vc := w.cleanCond[k]
 		v0 := vc[lo:hi]
 		v1 := vc[nPat+lo : nPat+hi]
 		v2 := vc[2*nPat+lo : 2*nPat+hi]
@@ -315,6 +327,12 @@ func (w *Wave) Eval(trees []*gtree.Tree, out []float64) {
 		if !w.rootCase {
 			e.model.TransitionInto(w.c.base.Nodes[w.path[0]].Age-pn.Age, &pr.am)
 		}
+		// Resolve the clean rows the cells will stream — the target's two
+		// children and the parent's clean child — once per proposal, so the
+		// cell kernel never branches on tip-ness.
+		pr.tlc, pr.tls = w.rowOf(tn.Child[0])
+		pr.trc, pr.trs = w.rowOf(tn.Child[1])
+		pr.cvc, pr.cvs = w.rowOf(pr.pclean)
 	}
 	nLive := len(w.props)
 	if nLive == 0 {
@@ -392,11 +410,9 @@ func (w *Wave) runCell(cell int) {
 	// same matrix↔child pairing; the two dot factors and the two scale
 	// summands commute bit-exactly, so evaluating the φ side first is the
 	// per-candidate kernel's result regardless of Child-array order.
-	t := pr.t
-	tn := &t.Nodes[w.phi]
-	tl := w.rowView(tn.Child[0], lo, hi)
-	tr := w.rowView(tn.Child[1], lo, hi)
-	cv := w.rowView(pr.pclean, lo, hi)
+	tl := laneSlice(pr.tlc, pr.tls, nPat, lo, hi)
+	tr := laneSlice(pr.trc, pr.trs, nPat, lo, hi)
+	cv := laneSlice(pr.cvc, pr.cvs, nPat, lo, hi)
 	waveNeighbourhood(pr, tl, tr, cv, laneView{s0, s1, s2, s3, ss})
 
 	// Root path: one dirty-side dot per node against the shared outer
@@ -478,16 +494,14 @@ type laneView struct {
 	l0, l1, l2, l3, ls []float64
 }
 
-// rowView slices a clean node's row to [lo, hi).
-func (w *Wave) rowView(node, lo, hi int) laneView {
-	nPat := w.e.nPatterns
-	rc, rs := w.rowOf(node)
+// laneSlice views a pre-resolved row's lanes over [lo, hi).
+func laneSlice(cond, scale []float64, nPat, lo, hi int) laneView {
 	return laneView{
-		rc[lo:hi],
-		rc[nPat+lo : nPat+hi],
-		rc[2*nPat+lo : 2*nPat+hi],
-		rc[3*nPat+lo : 3*nPat+hi],
-		rs[lo:hi],
+		cond[lo:hi],
+		cond[nPat+lo : nPat+hi],
+		cond[2*nPat+lo : 2*nPat+hi],
+		cond[3*nPat+lo : 3*nPat+hi],
+		scale[lo:hi],
 	}
 }
 

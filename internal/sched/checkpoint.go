@@ -78,6 +78,13 @@ func Fingerprint(j Job) string {
 		writeInt(adapt)
 		writeInt(uint64(j.SwapWindow))
 	}
+	// Convergence stop targets joined the spec after v1 checkpoints
+	// shipped; the same only-if-set rule keeps old fingerprints stable.
+	if j.ESSTarget != 0 || j.RHatTarget != 0 {
+		writeStr("stoptargets")
+		writeInt(math.Float64bits(j.ESSTarget))
+		writeInt(math.Float64bits(j.RHatTarget))
+	}
 	if j.Alignment != nil {
 		writeInt(uint64(j.Alignment.NSeq()))
 		for i, name := range j.Alignment.Names {

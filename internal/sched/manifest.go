@@ -56,6 +56,13 @@ type ManifestJob struct {
 	SwapEvery   int     `json:"swap_every"`
 	AdaptLadder *bool   `json:"adapt_ladder,omitempty"`
 	SwapWindow  int     `json:"swap_window"`
+	// Convergence stop targets: a sampling pass ends early once the
+	// recorder's online ESS reaches ESSTarget (and, when RHatTarget is
+	// also set, the online split R-hat falls to it). Zero disables the
+	// rule. Rejected on multichain jobs, whose pooled quota makes a
+	// per-chain target ill-defined.
+	ESSTarget  float64 `json:"ess_target"`
+	RHatTarget float64 `json:"rhat_target"`
 }
 
 // merged returns the entry with zero-valued fields filled from defaults.
@@ -105,6 +112,17 @@ func (m ManifestJob) merged(d ManifestJob) ManifestJob {
 			m.SwapWindow = d.SwapWindow
 		}
 	}
+	// Stop targets are meaningful for every sampler except multichain, so
+	// defaults-level targets must not poison a multichain job in a mixed
+	// manifest.
+	if m.Sampler != "multichain" {
+		if m.ESSTarget == 0 {
+			m.ESSTarget = d.ESSTarget
+		}
+		if m.RHatTarget == 0 {
+			m.RHatTarget = d.RHatTarget
+		}
+	}
 	return m
 }
 
@@ -147,6 +165,15 @@ func (m ManifestJob) validate() error {
 		if m.MaxTemp != 0 || m.SwapEvery != 0 || m.AdaptLadder != nil || m.SwapWindow != 0 {
 			return fmt.Errorf("max_temp/swap_every/adapt_ladder/swap_window are only meaningful for the heated sampler (job resolves to %q)", m.Sampler)
 		}
+	}
+	if m.ESSTarget < 0 {
+		return fmt.Errorf("ess_target %v must not be negative", m.ESSTarget)
+	}
+	if m.RHatTarget != 0 && m.RHatTarget <= 1 {
+		return fmt.Errorf("rhat_target %v must exceed 1 (omit or 0 to disable)", m.RHatTarget)
+	}
+	if m.Sampler == "multichain" && (m.ESSTarget != 0 || m.RHatTarget != 0) {
+		return fmt.Errorf("ess_target/rhat_target are not supported by the multichain sampler")
 	}
 	return nil
 }
@@ -221,6 +248,8 @@ func LoadManifest(path string) ([]Job, error) {
 			MaxTemp:      entry.MaxTemp,
 			SwapEvery:    entry.SwapEvery,
 			SwapWindow:   entry.SwapWindow,
+			ESSTarget:    entry.ESSTarget,
+			RHatTarget:   entry.RHatTarget,
 		}
 		if entry.AdaptLadder != nil {
 			job.AdaptLadder = *entry.AdaptLadder

@@ -387,7 +387,11 @@ func (q *Queue) Submit(job Job, opts SubmitOptions) (*Ticket, error) {
 		if err != nil {
 			return fail(err)
 		}
-		em, err := startJob(job, dev)
+		trace := tracePath(opts.Checkpoint, job.Name)
+		if !resuming {
+			removeStaleSidecar(trace)
+		}
+		em, err := startJob(job, dev, trace)
 		if err != nil {
 			return fail(fmt.Errorf("sched: job %q: %w", job.Name, err))
 		}
@@ -564,6 +568,7 @@ func (q *Queue) settleRunner(r *qrunner, err error) {
 		res.History = out.History
 		res.LastSet = out.LastSet
 		res.LastRun = out.LastRun
+		res.Converged = out.LastRun != nil && out.LastRun.StoppedEarly
 	}
 	if r.cw != nil && res.Err == nil {
 		r.cw.setDone(0, res)

@@ -35,6 +35,8 @@ package sched
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -92,6 +94,15 @@ type Job struct {
 	// legal (they decorrelate through the data unless the data is equal
 	// too).
 	Seed uint64
+	// ESSTarget ends each EM iteration's sampling pass early once the
+	// recorder's online effective sample size reaches it; 0 disables the
+	// rule and the pass always draws its full Samples quota. A converged
+	// job retires at its next quantum boundary, freeing its drivers for
+	// the rest of the batch.
+	ESSTarget float64
+	// RHatTarget additionally requires the online split R-hat to fall to
+	// the target (must exceed 1 when set); 0 disables the check.
+	RHatTarget float64
 }
 
 func (j Job) withDefaults(index, poolWorkers int) Job {
@@ -150,6 +161,9 @@ type Result struct {
 	// Resumed marks a job whose outcome was restored from a checkpoint
 	// instead of being computed in this batch.
 	Resumed bool
+	// Converged marks a job whose final sampling pass ended early because
+	// its online diagnostics reached the declared ESS/R-hat targets.
+	Converged bool
 	// Err is the job's failure, if any: an invalid spec, a sampling
 	// error, or the batch-level cancellation that interrupted it.
 	Err error
@@ -274,7 +288,11 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 			results[i].Err = err
 			continue
 		}
-		em, err := startJob(job, dev)
+		trace := tracePath(opts.Checkpoint, job.Name)
+		if !resuming {
+			removeStaleSidecar(trace)
+		}
+		em, err := startJob(job, dev, trace)
 		if err != nil {
 			results[i].Err = fmt.Errorf("sched: job %q: %w", job.Name, err)
 			cw.setFailed(i, results[i].Err, 0)
@@ -320,6 +338,7 @@ func RunBatch(ctx context.Context, pool *device.Pool, jobs []Job, opts Options) 
 			res.History = out.History
 			res.LastSet = out.LastSet
 			res.LastRun = out.LastRun
+			res.Converged = out.LastRun != nil && out.LastRun.StoppedEarly
 		}
 		live--
 		if live == 0 {
@@ -412,7 +431,7 @@ func RunStandalone(job Job, workers int) (Result, error) {
 	defer dev.Close()
 	job = job.withDefaults(0, dev.Workers())
 	res := Result{Name: job.Name}
-	em, err := startJob(job, dev)
+	em, err := startJob(job, dev, "")
 	if err != nil {
 		return res, fmt.Errorf("sched: job %q: %w", job.Name, err)
 	}
@@ -433,6 +452,7 @@ func RunStandalone(job Job, workers int) (Result, error) {
 	res.History = out.History
 	res.LastSet = out.LastSet
 	res.LastRun = out.LastRun
+	res.Converged = out.LastRun != nil && out.LastRun.StoppedEarly
 	return res, nil
 }
 
@@ -447,11 +467,41 @@ func batchErr(ctx context.Context, pool *device.Pool) error {
 	return nil
 }
 
+// tracePath derives a job's trace-sidecar file from its checkpoint
+// directory: spilling is active exactly when checkpointing is, because
+// the sidecar is what makes the checkpoint O(interval). Without a
+// checkpoint directory the recorder stays in memory and the path is
+// empty.
+func tracePath(opts CheckpointOptions, name string) string {
+	if !opts.enabled() {
+		return ""
+	}
+	return filepath.Join(opts.Dir, CheckpointKey(name)+".trace")
+}
+
+// removeStaleSidecar deletes the sidecar files a previous incarnation of
+// a job may have left behind. A fresh (non-resumed) start must not
+// append after stale draws: the file would grow without bound across
+// restarts and a changed tree size would poison the open. Multichain
+// runs fan out to per-chain "<path>.c<i>" files, so those go too.
+func removeStaleSidecar(path string) {
+	if path == "" {
+		return
+	}
+	os.Remove(path)
+	if matches, err := filepath.Glob(path + ".c*"); err == nil {
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+}
+
 // startJob assembles one job's estimation pipeline — model, evaluator,
 // starting genealogy, sampler — on the job's tenant device, mirroring
 // what a standalone run builds, and returns it positioned before its
-// first transition.
-func startJob(j Job, dev *device.Device) (*core.EMRun, error) {
+// first transition. A non-empty trace path puts the recorder in
+// bounded-memory spill mode with draws streamed to that sidecar file.
+func startJob(j Job, dev *device.Device, trace string) (*core.EMRun, error) {
 	if j.Alignment == nil {
 		return nil, fmt.Errorf("alignment is required")
 	}
@@ -474,13 +524,19 @@ func startJob(j Job, dev *device.Device) (*core.EMRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.StartEM(sampler, init, core.EMConfig{
+	cfg := core.EMConfig{
 		InitialTheta: j.InitialTheta,
 		Iterations:   j.EMIterations,
 		Burnin:       j.Burnin,
 		Samples:      j.Samples,
 		Seed:         j.Seed,
-	}, dev)
+		ESSTarget:    j.ESSTarget,
+		RHatTarget:   j.RHatTarget,
+	}
+	if trace != "" {
+		cfg.Trace = &core.TraceSpec{Path: trace}
+	}
+	return core.StartEM(sampler, init, cfg, dev)
 }
 
 func buildModel(kind string, aln *phylip.Alignment) (subst.Model, error) {

@@ -62,6 +62,19 @@ func (j Job) Validate() error {
 			return fmt.Errorf("tempering knobs (max_temp/swap_every/adapt_ladder/swap_window) are only meaningful for the heated sampler (job uses %q)", samplerOrDefault(j.Sampler))
 		}
 	}
+	if j.ESSTarget < 0 {
+		return fmt.Errorf("ess target %v must not be negative", j.ESSTarget)
+	}
+	if j.RHatTarget != 0 && j.RHatTarget <= 1 {
+		return fmt.Errorf("rhat target %v must exceed 1 (0 to disable)", j.RHatTarget)
+	}
+	if j.Sampler == "multichain" && (j.ESSTarget > 0 || j.RHatTarget > 0) {
+		// Each multichain sub-chain owns an even share of the pooled
+		// quota; a per-chain stop rule against a pooled target is
+		// ill-defined, so the ensemble rejects targets (core would too,
+		// but here the refusal is synchronous).
+		return fmt.Errorf("convergence stop targets (ess_target/rhat_target) are not supported by the multichain sampler")
+	}
 	return nil
 }
 

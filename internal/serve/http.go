@@ -40,6 +40,8 @@ type submitRequest struct {
 	SwapEvery    int     `json:"swap_every,omitempty"`
 	AdaptLadder  bool    `json:"adapt_ladder,omitempty"`
 	SwapWindow   int     `json:"swap_window,omitempty"`
+	ESSTarget    float64 `json:"ess_target,omitempty"`
+	RHatTarget   float64 `json:"rhat_target,omitempty"`
 	Tenant       string  `json:"tenant,omitempty"`
 	Priority     int     `json:"priority,omitempty"`
 }
@@ -58,18 +60,21 @@ type historyJSON struct {
 // theta_hex and trace_hex are exact hexadecimal renderings — the fields
 // the drain/resume CI gate compares bit-for-bit.
 type jobJSON struct {
-	ID       string        `json:"id"`
-	Name     string        `json:"name"`
-	Tenant   string        `json:"tenant,omitempty"`
-	Priority int           `json:"priority,omitempty"`
-	Status   string        `json:"status"`
-	Steps    int           `json:"steps"`
-	Resumed  bool          `json:"resumed,omitempty"`
-	Error    string        `json:"error,omitempty"`
-	Theta    string        `json:"theta,omitempty"`
-	ThetaHex string        `json:"theta_hex,omitempty"`
-	TraceHex []string      `json:"trace_hex,omitempty"`
-	History  []historyJSON `json:"history,omitempty"`
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Status   string `json:"status"`
+	Steps    int    `json:"steps"`
+	Resumed  bool   `json:"resumed,omitempty"`
+	// Converged marks a job whose final sampling pass ended early at its
+	// declared ESS/R-hat targets.
+	Converged bool          `json:"converged,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Theta     string        `json:"theta,omitempty"`
+	ThetaHex  string        `json:"theta_hex,omitempty"`
+	TraceHex  []string      `json:"trace_hex,omitempty"`
+	History   []historyJSON `json:"history,omitempty"`
 }
 
 func formatDec(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
@@ -112,6 +117,7 @@ func jobView(rec *ckpt.JobRecord, ticket *sched.Ticket, resumed, withResult bool
 	}
 	res := st.Result
 	out.Resumed = resumed || res.Resumed
+	out.Converged = res.Converged
 	if res.Err != nil {
 		out.Error = res.Err.Error()
 		return out
@@ -216,6 +222,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		SwapEvery:    req.SwapEvery,
 		AdaptLadder:  req.AdaptLadder,
 		SwapWindow:   req.SwapWindow,
+		ESSTarget:    req.ESSTarget,
+		RHatTarget:   req.RHatTarget,
 	}
 	if err := job.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid submission: %v", err)

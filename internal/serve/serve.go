@@ -256,6 +256,16 @@ func jobFromRecord(rec *ckpt.JobRecord) (sched.Job, error) {
 			return sched.Job{}, err
 		}
 	}
+	if spec.ESSTarget != "" {
+		if job.ESSTarget, err = ckpt.ParseHexFloat(spec.ESSTarget); err != nil {
+			return sched.Job{}, err
+		}
+	}
+	if spec.RHatTarget != "" {
+		if job.RHatTarget, err = ckpt.ParseHexFloat(spec.RHatTarget); err != nil {
+			return sched.Job{}, err
+		}
+	}
 	return job, nil
 }
 
@@ -281,6 +291,12 @@ func recordFromJob(id string, seq int64, tenant string, priority int, phylipText
 	}
 	if job.MaxTemp != 0 {
 		spec.MaxTemp = ckpt.HexFloat(job.MaxTemp)
+	}
+	if job.ESSTarget != 0 {
+		spec.ESSTarget = ckpt.HexFloat(job.ESSTarget)
+	}
+	if job.RHatTarget != 0 {
+		spec.RHatTarget = ckpt.HexFloat(job.RHatTarget)
 	}
 	return &ckpt.JobRecord{
 		ID:        id,

@@ -1,0 +1,135 @@
+package stats
+
+import "math"
+
+// onlineMaxMeans caps the stored batch means. When the cap is hit,
+// adjacent pairs merge and the batch size doubles, so memory stays
+// fixed while every observed value keeps contributing.
+const onlineMaxMeans = 256
+
+// OnlineDiag accumulates convergence diagnostics over a draw stream in
+// bounded memory. It keeps two fixed-size summaries:
+//
+//   - a ring of the most recent (optionally subsampled) values, from
+//     which ESS is estimated: the window yields the chain's sampling
+//     efficiency (effective draws per draw), which scales to the full
+//     stream length;
+//   - doubling batch means, from which a split Gelman-Rubin statistic
+//     compares the first and second halves of the run.
+//
+// Every update is a pure, order-deterministic function of the stream,
+// so two replays of the same draws — including a kill/resume replay
+// from the trace sidecar — reach bit-identical states. That is what
+// lets the auto-stop rule live inside the sampler without breaking the
+// bit-identical resume contract.
+type OnlineDiag struct {
+	sub  int // subsample stride for the window
+	win  []float64
+	head int // next ring slot
+	full bool
+	n    int // total values observed
+
+	means []float64
+	bsize int // values per completed batch
+	bsum  float64
+	bn    int // values in the current partial batch
+
+	scratch []float64 // chronological unroll of win, reused by ESS
+}
+
+// NewOnlineDiag returns a diagnostic accumulator whose window holds up
+// to window values sampled every subsample-th observation. window <= 0
+// defaults to 1024; subsample <= 0 defaults to 1 (no thinning).
+// Thinning stretches the window across a longer stretch of the chain,
+// which keeps the ESS estimate honest for slowly mixing runs.
+func NewOnlineDiag(window, subsample int) *OnlineDiag {
+	if window <= 0 {
+		window = 1024
+	}
+	if subsample <= 0 {
+		subsample = 1
+	}
+	return &OnlineDiag{
+		sub:   subsample,
+		win:   make([]float64, 0, window),
+		bsize: 1,
+		means: make([]float64, 0, onlineMaxMeans),
+	}
+}
+
+// Add observes one value.
+func (d *OnlineDiag) Add(x float64) {
+	if d.n%d.sub == 0 {
+		if len(d.win) < cap(d.win) {
+			d.win = append(d.win, x)
+		} else {
+			d.win[d.head] = x
+			d.full = true
+		}
+		d.head = (d.head + 1) % cap(d.win)
+	}
+	d.n++
+
+	d.bsum += x
+	d.bn++
+	if d.bn == d.bsize {
+		d.means = append(d.means, d.bsum/float64(d.bsize))
+		d.bsum = 0
+		d.bn = 0
+		if len(d.means) == onlineMaxMeans {
+			half := d.means[:0]
+			for i := 0; i < onlineMaxMeans; i += 2 {
+				half = append(half, (d.means[i]+d.means[i+1])/2)
+			}
+			d.means = half
+			d.bsize *= 2
+		}
+	}
+}
+
+// N returns the number of values observed.
+func (d *OnlineDiag) N() int { return d.n }
+
+// ESS estimates the effective sample size of the full stream: the
+// window's autocorrelation yields an efficiency (effective draws per
+// retained draw), scaled by how many retained draws the stream holds.
+func (d *OnlineDiag) ESS() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	w := d.window()
+	if len(w) == 0 {
+		return 0
+	}
+	eff := EffectiveSampleSize(w) / float64(len(w))
+	retained := float64((d.n + d.sub - 1) / d.sub)
+	return eff * retained
+}
+
+// RHat returns the split Gelman-Rubin statistic over the batch means:
+// the first half of the run is treated as one chain and the second
+// half as another. NaN until at least four completed batches exist.
+func (d *OnlineDiag) RHat() float64 {
+	m := len(d.means)
+	if m < 4 {
+		return math.NaN()
+	}
+	// An odd count would make the halves ragged; drop the oldest mean.
+	eq := d.means[m%2:]
+	h := len(eq) / 2
+	return GelmanRubin([][]float64{eq[:h], eq[h:]})
+}
+
+// window returns the ring in chronological order, reusing scratch.
+func (d *OnlineDiag) window() []float64 {
+	if !d.full {
+		return d.win
+	}
+	if cap(d.scratch) < len(d.win) {
+		d.scratch = make([]float64, len(d.win))
+	}
+	s := d.scratch[:len(d.win)]
+	n := copy(s, d.win[d.head:])
+	copy(s[n:], d.win[:d.head])
+	return s
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnlineDiagIIDMatchesBatchESS(t *testing.T) {
+	d := NewOnlineDiag(512, 1)
+	var g lcg = 7
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = g.next()
+		d.Add(xs[i])
+	}
+	if d.N() != len(xs) {
+		t.Fatalf("N = %d", d.N())
+	}
+	ess := d.ESS()
+	// IID draws: ESS should be a large fraction of n.
+	if ess < 0.5*float64(len(xs)) || ess > 1.01*float64(len(xs)) {
+		t.Fatalf("IID ESS = %.1f for n=%d", ess, len(xs))
+	}
+	rhat := d.RHat()
+	if math.IsNaN(rhat) || math.Abs(rhat-1) > 0.1 {
+		t.Fatalf("IID split R-hat = %v, want ~1", rhat)
+	}
+}
+
+func TestOnlineDiagCorrelatedChainShrinksESS(t *testing.T) {
+	diid := NewOnlineDiag(512, 1)
+	dar := NewOnlineDiag(512, 1)
+	var g lcg = 13
+	x := 0.0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		e := g.next() - 0.5
+		diid.Add(e)
+		x = 0.95*x + e // AR(1), strongly autocorrelated
+		dar.Add(x)
+	}
+	if dar.ESS() > 0.25*diid.ESS() {
+		t.Fatalf("AR(1) ESS %.1f not ≪ IID ESS %.1f", dar.ESS(), diid.ESS())
+	}
+}
+
+func TestOnlineDiagDriftInflatesRHat(t *testing.T) {
+	d := NewOnlineDiag(256, 1)
+	var g lcg = 21
+	const n = 4000
+	for i := 0; i < n; i++ {
+		// A mean shift between the halves: split R-hat must flag it.
+		d.Add(g.next() + 5*float64(i)/n)
+	}
+	if r := d.RHat(); !(r > 1.2) {
+		t.Fatalf("drifting chain split R-hat = %v, want > 1.2", r)
+	}
+}
+
+func TestOnlineDiagDeterministicReplay(t *testing.T) {
+	mk := func() *OnlineDiag { return NewOnlineDiag(128, 4) }
+	a, b := mk(), mk()
+	var g lcg = 3
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = g.next()
+	}
+	for _, x := range xs {
+		a.Add(x)
+	}
+	// b sees the same stream in two installments with interleaved
+	// queries, as a resumed run would.
+	for _, x := range xs[:1234] {
+		b.Add(x)
+	}
+	_, _ = b.ESS(), b.RHat()
+	for _, x := range xs[1234:] {
+		b.Add(x)
+	}
+	if math.Float64bits(a.ESS()) != math.Float64bits(b.ESS()) {
+		t.Fatalf("ESS diverged: %v vs %v", a.ESS(), b.ESS())
+	}
+	ra, rb := a.RHat(), b.RHat()
+	if math.Float64bits(ra) != math.Float64bits(rb) {
+		t.Fatalf("RHat diverged: %v vs %v", ra, rb)
+	}
+}
+
+func TestOnlineDiagBoundedMemory(t *testing.T) {
+	d := NewOnlineDiag(64, 1)
+	var g lcg = 9
+	for i := 0; i < 200000; i++ {
+		d.Add(g.next())
+	}
+	if len(d.win) > 64 || cap(d.win) > 64 {
+		t.Fatalf("window grew to %d/%d", len(d.win), cap(d.win))
+	}
+	if len(d.means) >= onlineMaxMeans || cap(d.means) > onlineMaxMeans {
+		t.Fatalf("means grew to %d/%d", len(d.means), cap(d.means))
+	}
+	if d.bsize < 200000/onlineMaxMeans {
+		t.Fatalf("batch size %d did not double enough", d.bsize)
+	}
+}
+
+func TestOnlineDiagEdgeCases(t *testing.T) {
+	d := NewOnlineDiag(0, 0) // defaults
+	if got := d.ESS(); got != 0 {
+		t.Fatalf("empty ESS = %v", got)
+	}
+	if !math.IsNaN(d.RHat()) {
+		t.Fatal("empty RHat should be NaN")
+	}
+	d.Add(1)
+	d.Add(2)
+	if !math.IsNaN(d.RHat()) {
+		t.Fatal("2-value RHat should be NaN")
+	}
+	if d.ESS() <= 0 {
+		t.Fatal("ESS should be positive once values exist")
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzFrameDecode drives the frame decoder with arbitrary bytes. The
+// contract is decode-or-error: any input either yields draws plus a
+// consumed length inside the buffer, or an error — never a panic, and
+// never an out-of-range consumed count. Valid frames built from the
+// fuzzer's own parameters must round-trip exactly.
+func FuzzFrameDecode(f *testing.F) {
+	// A well-formed single-draw frame for nAges=2 seeds the corpus.
+	payload := appendDraw(nil, 1.5, []float64{0.25, 0.75}, -3.0)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	f.Add(2, frame)
+	f.Add(2, frame[:len(frame)-3]) // torn tail
+	f.Add(1, []byte{})
+	f.Add(3, []byte{0xff, 0xff, 0xff, 0xff, 0x00})
+	f.Add(0, frame)
+
+	f.Fuzz(func(t *testing.T, nAges int, b []byte) {
+		draws, n, err := DecodeFrame(nAges, b)
+		if err != nil {
+			if draws != nil {
+				t.Fatal("error with non-nil draws")
+			}
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if len(draws) == 0 {
+			t.Fatal("successful decode with zero draws")
+		}
+		// Re-encode what was decoded: it must reproduce the consumed
+		// bytes bit for bit (the payload is raw IEEE-754 images).
+		var enc []byte
+		for _, d := range draws {
+			if len(d.Ages) != nAges {
+				t.Fatalf("draw has %d ages, want %d", len(d.Ages), nAges)
+			}
+			enc = appendDraw(enc, d.Stat, d.Ages, d.LogLik)
+		}
+		if len(enc) != n-8 {
+			t.Fatalf("re-encoded %d bytes, consumed %d", len(enc), n)
+		}
+		for i, by := range enc {
+			if b[4+i] != by {
+				t.Fatalf("re-encode differs at payload byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzScan feeds arbitrary file images to the recovery scanner: it
+// must classify any input as (header error) or (durable prefix + torn
+// tail) without panicking, and the durable prefix must re-scan to the
+// same result (truncation is idempotent).
+func FuzzScan(f *testing.F) {
+	hdr := EncodeHeader(2)
+	f.Add(append(append([]byte{}, hdr...), 0x01, 0x02))
+	f.Add(hdr)
+	f.Add([]byte("MPTRxxxxyyyyzzzz"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		info, err := scan(bytesReaderAt(b), int64(len(b)))
+		if err != nil {
+			return
+		}
+		if info.DurableBytes < HeaderSize || info.DurableBytes > int64(len(b)) {
+			t.Fatalf("durable %d outside [%d, %d]", info.DurableBytes, HeaderSize, len(b))
+		}
+		again, err := scan(bytesReaderAt(b[:info.DurableBytes]), info.DurableBytes)
+		if err != nil {
+			t.Fatalf("re-scan of durable prefix failed: %v", err)
+		}
+		if again.DurableBytes != info.DurableBytes || again.Draws != info.Draws || again.Frames != info.Frames {
+			t.Fatalf("re-scan diverged: %+v vs %+v", again, info)
+		}
+	})
+}
+
+type bytesReaderAt []byte
+
+func (b bytesReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(b)) {
+		return 0, errEOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, errEOF
+	}
+	return n, nil
+}
+
+var errEOF = errShort{}
+
+type errShort struct{}
+
+func (errShort) Error() string { return "short read" }

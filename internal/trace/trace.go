@@ -1,0 +1,143 @@
+// Package trace implements the streaming draw sidecar: an append-only,
+// crash-safe file that receives every recorded MCMC draw so checkpoints
+// can stay O(interval) — a snapshot stores only a durable byte offset
+// into the sidecar instead of the accumulated trace itself.
+//
+// File layout:
+//
+//	header  = magic "MPTR" | u32 version | u32 nAges | u32 reserved
+//	frame   = u32 payloadLen | payload | u32 crc32(payload)
+//	payload = drawCount × draw
+//	draw    = (2+nAges) × u64 IEEE-754 bits: stat, ages[0..nAges), logLik
+//
+// All integers and float bits are little-endian. Draws are exact bit
+// images of the in-memory float64 values — writing and reading back is
+// lossless by construction, which the bit-identical resume contract
+// depends on.
+//
+// Durability contract: a frame is durable once Flush returns — the
+// writer emits header+payload+checksum in a single write and fsyncs
+// before advancing its durable offset. A crash mid-append leaves at
+// most one torn frame at the tail; Open detects it (short frame or
+// checksum mismatch) and truncates the file back to the last durable
+// frame boundary. The file only ever grows during a run; resume from
+// an older checkpoint truncates it back to that checkpoint's offset.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	// Magic identifies a sidecar trace file.
+	Magic = "MPTR"
+	// Version is the sidecar format version written by this package.
+	Version = 1
+	// HeaderSize is the fixed byte length of the file header.
+	HeaderSize = 16
+
+	// maxFrameLen bounds a single frame's payload. The writer batches
+	// at checkpoint cadence, far below this; the bound exists so a
+	// corrupted length field cannot drive a huge allocation.
+	maxFrameLen = 1 << 28
+)
+
+// DrawSize returns the encoded byte length of one draw for trees with
+// nAges internal-node ages.
+func DrawSize(nAges int) int { return 8 * (2 + nAges) }
+
+// Draw is one recorded MCMC sample: the summary statistic, the
+// internal-node ages, and the log-likelihood, exactly as recorded.
+type Draw struct {
+	Stat   float64
+	Ages   []float64
+	LogLik float64
+}
+
+// EncodeHeader renders the 16-byte file header for trees with nAges
+// internal-node ages.
+func EncodeHeader(nAges int) []byte {
+	h := make([]byte, HeaderSize)
+	copy(h, Magic)
+	binary.LittleEndian.PutUint32(h[4:], Version)
+	binary.LittleEndian.PutUint32(h[8:], uint32(nAges))
+	return h
+}
+
+// DecodeHeader validates a sidecar header and returns nAges.
+func DecodeHeader(h []byte) (nAges int, err error) {
+	if len(h) < HeaderSize {
+		return 0, fmt.Errorf("trace: short header: %d bytes", len(h))
+	}
+	if string(h[:4]) != Magic {
+		return 0, fmt.Errorf("trace: bad magic %q", h[:4])
+	}
+	if v := binary.LittleEndian.Uint32(h[4:]); v != Version {
+		return 0, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(h[8:])
+	if n == 0 || n > 1<<20 {
+		return 0, fmt.Errorf("trace: implausible nAges %d", n)
+	}
+	return int(n), nil
+}
+
+// appendDraw encodes one draw onto buf as raw little-endian bits.
+func appendDraw(buf []byte, stat float64, ages []float64, logLik float64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(stat))
+	for _, a := range ages {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a))
+	}
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(logLik))
+}
+
+// DecodeFrame decodes a single frame from the start of b for trees
+// with nAges internal-node ages. It returns the decoded draws and the
+// total byte length consumed. Any malformed input — short buffer,
+// implausible length, payload not a whole number of draws, checksum
+// mismatch — yields an error, never a panic; this is the surface the
+// fuzz target drives.
+func DecodeFrame(nAges int, b []byte) (draws []Draw, n int, err error) {
+	if nAges <= 0 {
+		return nil, 0, fmt.Errorf("trace: nAges %d out of range", nAges)
+	}
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("trace: short frame: %d bytes", len(b))
+	}
+	payloadLen := int64(binary.LittleEndian.Uint32(b))
+	drawSize := int64(DrawSize(nAges))
+	if payloadLen == 0 || payloadLen > maxFrameLen {
+		return nil, 0, fmt.Errorf("trace: implausible frame length %d", payloadLen)
+	}
+	if payloadLen%drawSize != 0 {
+		return nil, 0, fmt.Errorf("trace: frame length %d not a multiple of draw size %d", payloadLen, drawSize)
+	}
+	total := 4 + payloadLen + 4
+	if int64(len(b)) < total {
+		return nil, 0, fmt.Errorf("trace: torn frame: need %d bytes, have %d", total, len(b))
+	}
+	payload := b[4 : 4+payloadLen]
+	want := binary.LittleEndian.Uint32(b[4+payloadLen:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, fmt.Errorf("trace: frame checksum mismatch: %08x != %08x", got, want)
+	}
+	count := int(payloadLen / drawSize)
+	draws = make([]Draw, count)
+	off := 0
+	for i := range draws {
+		draws[i].Stat = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+		ages := make([]float64, nAges)
+		for j := range ages {
+			ages[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+		draws[i].Ages = ages
+		draws[i].LogLik = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	return draws, int(total), nil
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// drawGen produces a deterministic stream of draws with awkward bit
+// patterns mixed in, so round-trip checks exercise more than smooth
+// values.
+func drawGen(i, nAges int) (float64, []float64, float64) {
+	stat := float64(i) * 1.25e-3
+	switch i % 5 {
+	case 1:
+		stat = -stat
+	case 2:
+		stat = stat * 1e-300 // subnormal territory under division
+	case 3:
+		stat = math.Inf(1)
+	}
+	ages := make([]float64, nAges)
+	for j := range ages {
+		ages[j] = float64(i*31+j) / 7.0
+	}
+	return stat, ages, float64(i) - 0.5
+}
+
+func appendDraws(t *testing.T, w *Writer, from, to, nAges int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		stat, ages, ll := drawGen(i, nAges)
+		w.Append(stat, ages, ll)
+	}
+}
+
+func collect(t *testing.T, w *Writer, from, to int64) (stats []float64, ages [][]float64, lls []float64) {
+	t.Helper()
+	err := w.Replay(from, to, func(s float64, a []float64, l float64) error {
+		stats = append(stats, s)
+		cp := make([]float64, len(a))
+		copy(cp, a)
+		ages = append(ages, cp)
+		lls = append(lls, l)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	const nAges = 5
+	path := filepath.Join(t.TempDir(), "job.trace")
+	w, err := Open(path, nAges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendDraws(t, w, 0, 40, nAges)
+	if w.Pending() != 40 {
+		t.Fatalf("pending = %d, want 40", w.Pending())
+	}
+	if off, n := w.Durable(); off != HeaderSize || n != 0 {
+		t.Fatalf("durable before flush = (%d, %d)", off, n)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mid, n := w.Durable()
+	if n != 40 {
+		t.Fatalf("durable draws = %d, want 40", n)
+	}
+	appendDraws(t, w, 40, 100, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil { // empty flush is a no-op
+		t.Fatal(err)
+	}
+	end, n := w.Durable()
+	if n != 100 {
+		t.Fatalf("durable draws = %d, want 100", n)
+	}
+
+	stats, ages, lls := collect(t, w, HeaderSize, -1)
+	if len(stats) != 100 {
+		t.Fatalf("replayed %d draws, want 100", len(stats))
+	}
+	for i := range stats {
+		ws, wa, wl := drawGen(i, nAges)
+		if math.Float64bits(stats[i]) != math.Float64bits(ws) || math.Float64bits(lls[i]) != math.Float64bits(wl) {
+			t.Fatalf("draw %d: stat/loglik mismatch", i)
+		}
+		for j := range wa {
+			if math.Float64bits(ages[i][j]) != math.Float64bits(wa[j]) {
+				t.Fatalf("draw %d age %d mismatch", i, j)
+			}
+		}
+	}
+
+	// Partial range: only the second frame.
+	stats2, _, _ := collect(t, w, mid, end)
+	if len(stats2) != 60 || math.Float64bits(stats2[0]) != func() uint64 { s, _, _ := drawGen(40, nAges); return math.Float64bits(s) }() {
+		t.Fatalf("partial replay wrong: %d draws", len(stats2))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NAges != nAges || info.Frames != 2 || info.Draws != 100 || info.Torn() {
+		t.Fatalf("stat = %+v", info)
+	}
+}
+
+func TestOpenRecoversExisting(t *testing.T) {
+	const nAges = 3
+	path := filepath.Join(t.TempDir(), "job.trace")
+	w, err := Open(path, nAges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendDraws(t, w, 0, 10, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	appendDraws(t, w, 10, 20, nAges) // never flushed: must vanish like a crash
+	w.Close()
+
+	w2, err := Open(path, nAges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, n := w2.Durable(); n != 10 {
+		t.Fatalf("recovered draws = %d, want 10", n)
+	}
+	if _, err := Open(path, nAges+1); err == nil {
+		t.Fatal("open with wrong nAges should fail")
+	}
+	w2.Close()
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	const nAges = 4
+	path := filepath.Join(t.TempDir(), "job.trace")
+	w, err := Open(path, nAges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendDraws(t, w, 0, 8, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	durable, _ := w.Durable()
+	appendDraws(t, w, 8, 16, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-way through the second frame: a torn append.
+	cut := durable + (int64(len(full))-durable)/2
+	for name, mutate := range map[string]func([]byte) []byte{
+		"torn":    func(b []byte) []byte { return b[:cut] },
+		"corrupt": func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)-5] ^= 0xff; return c },
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "damaged.trace")
+			if err := os.WriteFile(p, mutate(full), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			info, err := Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.Torn() || info.Draws != 8 || info.DurableBytes != durable {
+				t.Fatalf("stat of damaged file = %+v, want torn with 8 draws at %d", info, durable)
+			}
+			w, err := Open(p, nAges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			off, n := w.Durable()
+			if off != durable || n != 8 {
+				t.Fatalf("recovered to (%d, %d), want (%d, 8)", off, n, durable)
+			}
+			st, _ := os.Stat(p)
+			if st.Size() != durable {
+				t.Fatalf("file not truncated: %d bytes, want %d", st.Size(), durable)
+			}
+			stats, _, _ := collect(t, w, HeaderSize, -1)
+			if len(stats) != 8 {
+				t.Fatalf("replayed %d draws after recovery, want 8", len(stats))
+			}
+		})
+	}
+}
+
+func TestTruncateTo(t *testing.T) {
+	const nAges = 2
+	path := filepath.Join(t.TempDir(), "job.trace")
+	w, err := Open(path, nAges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendDraws(t, w, 0, 5, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snapOff, snapDraws := w.Durable()
+	appendDraws(t, w, 5, 12, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	appendDraws(t, w, 12, 13, nAges) // pending at truncate time: discarded
+
+	if err := w.TruncateTo(snapOff, snapDraws+1); err == nil {
+		t.Fatal("draw-count mismatch should fail")
+	}
+	if err := w.TruncateTo(snapOff+1, snapDraws); err == nil {
+		t.Fatal("non-boundary offset should fail")
+	}
+	if err := w.TruncateTo(snapOff, snapDraws); err != nil {
+		t.Fatal(err)
+	}
+	if off, n := w.Durable(); off != snapOff || n != 5 || w.Pending() != 0 {
+		t.Fatalf("after truncate: (%d, %d, pending %d)", off, n, w.Pending())
+	}
+	// The writer must be usable after rewinding: append diverging draws.
+	appendDraws(t, w, 100, 103, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats, _, _ := collect(t, w, HeaderSize, -1)
+	if len(stats) != 8 {
+		t.Fatalf("replayed %d draws, want 8", len(stats))
+	}
+	want, _, _ := drawGen(100, nAges)
+	if math.Float64bits(stats[5]) != math.Float64bits(want) {
+		t.Fatal("draw 5 should come from the post-truncate stream")
+	}
+}
+
+func TestPackageReplayAndHeaderErrors(t *testing.T) {
+	const nAges = 2
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.trace")
+	w, err := Open(path, nAges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendDraws(t, w, 0, 6, nAges)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	var got int
+	if err := Replay(path, HeaderSize, -1, func(float64, []float64, float64) error { got++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("package replay saw %d draws, want 6", got)
+	}
+
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("not a trace file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stat(bad); err == nil {
+		t.Fatal("stat of garbage should fail")
+	}
+	if _, err := Open(bad, nAges); err == nil {
+		t.Fatal("open of garbage should fail")
+	}
+}
